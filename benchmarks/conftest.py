@@ -1,0 +1,20 @@
+"""Benchmark harness conventions.
+
+Every benchmark regenerates one of the paper's tables/figures (or one of
+the DESIGN.md ablations) on the simulated testbed and prints the rows the
+paper reports.  ``pytest-benchmark`` times the regeneration; the printed
+tables are the scientific output — see EXPERIMENTS.md for the comparison
+against the published numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def emit(title: str, table: str) -> None:
+    """Print a regenerated table under a clear banner."""
+    banner = "=" * 72
+    print(f"\n{banner}\n{title}\n{banner}\n{table}\n")

@@ -1,0 +1,19 @@
+"""repro: a full simulation reproduction of "Network Stack as a Service in
+the Cloud" (NetKernel, HotNets 2017).
+
+Subpackages:
+
+* :mod:`repro.sim` - discrete-event kernel
+* :mod:`repro.net` - links, NICs, switches, loss models
+* :mod:`repro.tcp` - TCP with pluggable congestion control
+* :mod:`repro.host` - hosts, cores, memory, VMs
+* :mod:`repro.netkernel` - the paper's contribution (GuestLib, CoreEngine,
+  ServiceLib, NSMs, hypervisor provisioning)
+* :mod:`repro.api` - tenant socket API + epoll
+* :mod:`repro.apps` - bulk / RPC / web workloads
+* :mod:`repro.mgmt` - SLAs, pricing, accounting, scaling, placement
+* :mod:`repro.stats` - measurement
+* :mod:`repro.experiments` - table/figure harnesses
+"""
+
+__version__ = "1.0.0"

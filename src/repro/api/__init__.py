@@ -1,0 +1,23 @@
+"""Tenant-facing networking API: BSD-style sockets and epoll."""
+
+from .epoll import EPOLLIN, Epoll
+from .errors import (
+    AddressInUse,
+    BadFileDescriptor,
+    InvalidSocketState,
+    SocketError,
+    UnsupportedCongestionControl,
+)
+from .socket_api import KernelSocketApi, SocketApi
+
+__all__ = [
+    "SocketApi",
+    "KernelSocketApi",
+    "Epoll",
+    "EPOLLIN",
+    "SocketError",
+    "BadFileDescriptor",
+    "InvalidSocketState",
+    "UnsupportedCongestionControl",
+    "AddressInUse",
+]

@@ -1,0 +1,67 @@
+"""epoll-style readiness multiplexing over a :class:`SocketApi`.
+
+The paper's prototype defers select()/epoll() support to future work; we
+implement it, since event-driven servers (the RPC and web workloads) need
+it and it exercises GuestLib's event-notification path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..sim import AnyOf, Event, Simulator
+from .errors import BadFileDescriptor
+from .socket_api import SocketApi
+
+__all__ = ["Epoll", "EPOLLIN"]
+
+#: Readable readiness (the only event class the virtual API needs so far).
+EPOLLIN = 0x001
+
+
+class Epoll:
+    """Readiness multiplexer: register fds, wait for any to become ready."""
+
+    def __init__(self, sim: Simulator, api: SocketApi) -> None:
+        self.sim = sim
+        self.api = api
+        self._interest: Dict[int, int] = {}
+
+    def register(self, fd: int, events: int = EPOLLIN) -> None:
+        if events != EPOLLIN:
+            raise ValueError("only EPOLLIN is supported")
+        self._interest[fd] = events
+
+    def unregister(self, fd: int) -> None:
+        if fd not in self._interest:
+            raise BadFileDescriptor(f"fd {fd} not registered")
+        del self._interest[fd]
+
+    def wait(self) -> Event:
+        """Event fires with ``[(fd, EPOLLIN), ...]`` of ready descriptors.
+
+        Level-triggered: fds that are already readable fire immediately.
+        """
+        if not self._interest:
+            raise RuntimeError("epoll_wait() with an empty interest set")
+        ready = [
+            (fd, EPOLLIN) for fd in self._interest if self.api.readable_now(fd)
+        ]
+        result = Event(self.sim)
+        if ready:
+            result.succeed(ready)
+            return result
+
+        waiters = {fd: self.api.wait_readable(fd) for fd in self._interest}
+        any_of = AnyOf(self.sim, list(waiters.values()))
+
+        def collect(_ev: Event) -> None:
+            fired = [
+                (fd, EPOLLIN)
+                for fd, waiter in waiters.items()
+                if waiter.triggered and waiter.ok
+            ]
+            result.succeed(fired)
+
+        any_of.add_callback(collect)
+        return result

@@ -1,0 +1,36 @@
+"""Errors surfaced by the tenant socket API."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SocketError",
+    "BadFileDescriptor",
+    "InvalidSocketState",
+    "UnsupportedCongestionControl",
+    "AddressInUse",
+]
+
+
+class SocketError(Exception):
+    """Base class for socket API failures."""
+
+
+class BadFileDescriptor(SocketError):
+    """Operation on an fd that does not exist (EBADF)."""
+
+
+class InvalidSocketState(SocketError):
+    """Operation invalid for the socket's current state (EINVAL/EISCONN)."""
+
+
+class UnsupportedCongestionControl(SocketError):
+    """The requested congestion control is not available here.
+
+    In a legacy VM this means the guest kernel does not ship it — e.g.
+    requesting BBR inside Windows (ENOENT from TCP_CONGESTION).  NetKernel
+    raises it only if the *provider* does not offer such an NSM.
+    """
+
+
+class AddressInUse(SocketError):
+    """bind()/listen() collision (EADDRINUSE)."""

@@ -1,0 +1,26 @@
+"""Workload applications built on the tenant socket API."""
+
+from .bulk import BulkReceiver, BulkSender
+from .rpc import RpcClient, RpcServer
+from .web import WebClient, WebServer
+from .workload import (
+    WEB_FLOW_MIX,
+    PoissonArrivals,
+    empirical_sizes,
+    lognormal_sizes,
+    uniform_sizes,
+)
+
+__all__ = [
+    "BulkSender",
+    "BulkReceiver",
+    "RpcServer",
+    "RpcClient",
+    "WebServer",
+    "WebClient",
+    "PoissonArrivals",
+    "lognormal_sizes",
+    "uniform_sizes",
+    "empirical_sizes",
+    "WEB_FLOW_MIX",
+]

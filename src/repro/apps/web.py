@@ -1,0 +1,99 @@
+"""Short-connection web-style workload (HTTP/1.0-like).
+
+Each request opens a fresh connection, sends a small request, receives a
+response body and closes — stressing connection setup/teardown, the
+accept path, and (on NetKernel) the CoreEngine's connection table churn.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..api.socket_api import SocketApi
+from ..net import Endpoint
+from ..sim import Process, Simulator
+from ..stats import LatencyRecorder
+
+__all__ = ["WebServer", "WebClient"]
+
+
+class WebServer:
+    """Accepts connections forever; each gets one response then close."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        api: SocketApi,
+        port: int = 80,
+        request_bytes: int = 256,
+        response_bytes: int = 16 * 1024,
+    ) -> None:
+        self.sim = sim
+        self.api = api
+        self.port = port
+        self.request_bytes = request_bytes
+        self.response_bytes = response_bytes
+        self.requests_served = 0
+        self.process: Process = sim.process(self._run(), name=f"web-srv:{port}")
+
+    def _run(self):
+        listen_fd = yield self.api.socket()
+        yield self.api.bind(listen_fd, self.port)
+        yield self.api.listen(listen_fd, backlog=256)
+        while True:
+            conn_fd = yield self.api.accept(listen_fd)
+            self.sim.process(self._serve(conn_fd), name=f"web-conn:{conn_fd}")
+
+    def _serve(self, conn_fd: int):
+        received = 0
+        while received < self.request_bytes:
+            n = yield self.api.recv(conn_fd, self.request_bytes - received)
+            if n == 0:
+                return
+            received += n
+        yield self.api.send(conn_fd, self.response_bytes)
+        self.requests_served += 1
+        yield self.api.close(conn_fd)
+
+
+class WebClient:
+    """Closed-loop: connect, request, drain response, close, repeat."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        api: SocketApi,
+        remote: Endpoint,
+        request_bytes: int = 256,
+        response_bytes: int = 16 * 1024,
+        max_requests: Optional[int] = None,
+        start_delay: float = 0.0,
+    ) -> None:
+        self.sim = sim
+        self.api = api
+        self.remote = remote
+        self.request_bytes = request_bytes
+        self.response_bytes = response_bytes
+        self.max_requests = max_requests
+        self.start_delay = start_delay
+        self.latency = LatencyRecorder()  # full connect->close request time
+        self.completed = 0
+        self.process: Process = sim.process(self._run(), name=f"web-cli:{remote}")
+
+    def _run(self):
+        if self.start_delay > 0:
+            yield self.sim.timeout(self.start_delay)
+        while self.max_requests is None or self.completed < self.max_requests:
+            started = self.sim.now
+            fd = yield self.api.socket()
+            yield self.api.connect(fd, self.remote)
+            yield self.api.send(fd, self.request_bytes)
+            received = 0
+            while received < self.response_bytes:
+                n = yield self.api.recv(fd, 65536)
+                if n == 0:
+                    break
+                received += n
+            yield self.api.close(fd)
+            self.latency.record(self.sim.now - started)
+            self.completed += 1

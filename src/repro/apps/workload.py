@@ -1,0 +1,83 @@
+"""Workload generators: arrival processes and flow-size distributions."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, Optional, Sequence, Tuple
+
+from ..sim import Simulator
+
+__all__ = [
+    "PoissonArrivals",
+    "lognormal_sizes",
+    "uniform_sizes",
+    "empirical_sizes",
+    "WEB_FLOW_MIX",
+]
+
+#: A coarse web-like flow mix: (size bytes, probability weight).
+WEB_FLOW_MIX: Tuple[Tuple[int, float], ...] = (
+    (2 * 1024, 0.50),  # small objects
+    (16 * 1024, 0.30),
+    (128 * 1024, 0.15),
+    (1024 * 1024, 0.05),  # heavy tail
+)
+
+
+def lognormal_sizes(
+    median: float = 16 * 1024, sigma: float = 1.2, seed: Optional[int] = None
+) -> Iterator[int]:
+    """Lognormal flow sizes with the given median (bytes)."""
+    import math
+
+    rng = random.Random(seed)
+    mu = math.log(median)
+    while True:
+        yield max(1, int(rng.lognormvariate(mu, sigma)))
+
+
+def uniform_sizes(
+    low: int = 1024, high: int = 64 * 1024, seed: Optional[int] = None
+) -> Iterator[int]:
+    rng = random.Random(seed)
+    while True:
+        yield rng.randint(low, high)
+
+
+def empirical_sizes(
+    mix: Sequence[Tuple[int, float]] = WEB_FLOW_MIX, seed: Optional[int] = None
+) -> Iterator[int]:
+    """Draw from a discrete (size, weight) distribution."""
+    rng = random.Random(seed)
+    sizes = [s for s, _w in mix]
+    weights = [w for _s, w in mix]
+    while True:
+        yield rng.choices(sizes, weights)[0]
+
+
+class PoissonArrivals:
+    """Spawns ``make_task()`` processes with exponential inter-arrivals."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_per_second: float,
+        make_task: Callable[[int], object],
+        limit: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if rate_per_second <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.sim = sim
+        self.rate = rate_per_second
+        self.make_task = make_task
+        self.limit = limit
+        self.spawned = 0
+        self._rng = random.Random(seed)
+        sim.process(self._run(), name="poisson-arrivals")
+
+    def _run(self):
+        while self.limit is None or self.spawned < self.limit:
+            yield self.sim.timeout(self._rng.expovariate(self.rate))
+            self.make_task(self.spawned)
+            self.spawned += 1

@@ -1,0 +1,153 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+    python -m repro list                 # what can I run?
+    python -m repro table1
+    python -m repro figure4 [--duration 0.35]
+    python -m repro figure5 [--duration 40 --seeds 1 2 3]
+    python -m repro micro
+    python -m repro ablation {form,priority,notify,multiplex,
+                              containers,qos,fastpass,connscale}
+    python -m repro all                  # everything (several minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def _banner(title: str) -> str:
+    rule = "=" * 72
+    return f"{rule}\n{title}\n{rule}"
+
+
+def run_table1(args: argparse.Namespace) -> str:
+    from .experiments import run_table1 as harness
+
+    return harness().table()
+
+
+def run_micro(args: argparse.Namespace) -> str:
+    from .experiments import run_microbench as harness
+
+    return harness().table()
+
+
+def run_figure4(args: argparse.Namespace) -> str:
+    from .experiments import run_figure4 as harness
+
+    return harness(duration=args.duration, warmup=args.duration * 0.25).table()
+
+
+def run_figure5(args: argparse.Namespace) -> str:
+    from .experiments import run_figure5 as harness
+
+    return harness(duration=args.duration, seeds=tuple(args.seeds)).table()
+
+
+_ABLATIONS: Dict[str, str] = {
+    "form": "run_nsm_form_ablation",
+    "priority": "run_priority_ablation",
+    "notify": "run_notify_ablation",
+    "multiplex": "run_multiplexing_ablation",
+    "containers": "run_container_ablation",
+    "qos": "run_qos_ablation",
+    "fastpass": "run_fastpass_ablation",
+    "connscale": "run_connscale_ablation",
+}
+
+
+def run_ablation(args: argparse.Namespace) -> str:
+    import repro.experiments as experiments
+
+    harness = getattr(experiments, _ABLATIONS[args.which])
+    return harness().table()
+
+
+def run_all(args: argparse.Namespace) -> str:
+    sections: List[str] = []
+    for label, runner, ns in (
+        ("Table 1", run_table1, args),
+        ("§4.2 microbenchmarks", run_micro, args),
+        ("Figure 4", run_figure4, argparse.Namespace(duration=0.35)),
+        ("Figure 5", run_figure5, argparse.Namespace(duration=40.0, seeds=[1, 2, 3])),
+    ):
+        started = time.time()
+        sections.append(_banner(label))
+        sections.append(runner(ns))
+        sections.append(f"[{time.time() - started:.0f}s]")
+    for which in _ABLATIONS:
+        started = time.time()
+        sections.append(_banner(f"Ablation: {which}"))
+        sections.append(run_ablation(argparse.Namespace(which=which)))
+        sections.append(f"[{time.time() - started:.0f}s]")
+    return "\n".join(sections)
+
+
+def run_list(args: argparse.Namespace) -> str:
+    lines = [
+        "available artifacts:",
+        "  table1     Table 1: memory copy latency",
+        "  micro      §4.2: nqe copy cost + channel throughput",
+        "  figure4    Figure 4: Cubic native vs Cubic NSM on 40 GbE",
+        "  figure5    Figure 5: Windows VM + BBR NSM on the WAN path",
+        "  ablation   §5 research-agenda ablations "
+        f"({', '.join(sorted(_ABLATIONS))})",
+        "  all        everything above in sequence",
+    ]
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of 'Network Stack "
+        "as a Service in the Cloud' (HotNets 2017).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available artifacts").set_defaults(
+        runner=run_list
+    )
+    sub.add_parser("table1", help="Table 1").set_defaults(runner=run_table1)
+    sub.add_parser("micro", help="§4.2 microbenchmarks").set_defaults(
+        runner=run_micro
+    )
+
+    fig4 = sub.add_parser("figure4", help="Figure 4")
+    fig4.add_argument("--duration", type=float, default=0.35,
+                      help="seconds of simulated time per point")
+    fig4.set_defaults(runner=run_figure4)
+
+    fig5 = sub.add_parser("figure5", help="Figure 5")
+    fig5.add_argument("--duration", type=float, default=40.0)
+    fig5.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3],
+                      help="loss-process realizations to average")
+    fig5.set_defaults(runner=run_figure5)
+
+    ablation = sub.add_parser("ablation", help="§5 ablations")
+    ablation.add_argument("which", choices=sorted(_ABLATIONS))
+    ablation.set_defaults(runner=run_ablation)
+
+    sub.add_parser("all", help="regenerate everything").set_defaults(
+        runner=run_all
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        print(args.runner(args))
+    except BrokenPipeError:  # output piped into head/less and closed
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Ablation B (§3.2): priority nqe queues vs FIFO under head-of-line load.
+
+"In addition, the job queues and completion queues can be implemented as
+priority queues to handle connection events and data events separately to
+avoid the head of line blocking."
+
+Setup: one server VM simultaneously (a) sinks several bulk TCP flows at
+40 GbE line rate and (b) serves short web connections — in the §3.2
+HoL-prone configuration (the prototype's 8 KB huge-page chunks, so one
+DATA nqe per 8 KB, with single-threaded inline-copy GuestLib receive
+processing).  The harness reports the observed ring depth alongside the
+web request latency.
+
+**Finding (negative result):** even in this regime the rings never become
+the bottleneck — ring consumers (12 ns CoreEngine copies, ~1 us GuestLib
+inline handling) outrun the 40 GbE arrival rate, so queue depth stays in
+the tens and the HoL penalty is microseconds, dwarfed by ordinary wire
+queueing.  Backpressure in this architecture accumulates in TCP buffers
+and the huge-page region, not in the nqe rings; the §3.2 priority-queue
+optimization only matters if ring service were coupled to per-chunk work
+much slower than a memcpy.  See EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..apps import BulkReceiver, BulkSender, WebClient, WebServer
+from ..net import Endpoint
+from ..netkernel import CoreEngineConfig, NsmSpec
+from .common import make_lan_testbed
+
+__all__ = ["PriorityRow", "PriorityResult", "run_priority_ablation"]
+
+
+@dataclass
+class PriorityRow:
+    queue_kind: str
+    request_p50_us: float
+    request_p99_us: float
+    requests_completed: int
+    bulk_gbps: float
+    max_ring_depth: int
+
+
+@dataclass
+class PriorityResult:
+    rows: List[PriorityRow]
+
+    def table(self) -> str:
+        lines = [
+            "Ablation B: FIFO vs priority nqe rings (web requests behind bulk)",
+            f"{'rings':>10} {'p50':>10} {'p99':>10} {'requests':>9} "
+            f"{'bulk':>10} {'ring depth':>11}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.queue_kind:>10} {row.request_p50_us:>7.0f}us "
+                f"{row.request_p99_us:>7.0f}us {row.requests_completed:>9} "
+                f"{row.bulk_gbps:>6.2f} Gbps {row.max_ring_depth:>11}"
+            )
+        return "\n".join(lines)
+
+
+def _measure(
+    priority: bool, duration: float, bulk_flows: int
+) -> PriorityRow:
+    # The HoL-prone configuration: the prototype's 8 KB huge-page chunks
+    # (one DATA nqe each — ~575k nqes/s at line rate) with single-threaded
+    # GuestLib receive processing that copies inline while polling.
+    config = CoreEngineConfig(priority_queues=priority, inline_rx_copy=True)
+    # A shallow wire queue so bufferbloat does not mask ring effects.
+    testbed = make_lan_testbed(coreengine_config=config, queue_bytes=256 * 1024)
+    sim = testbed.sim
+    nsm_a = testbed.hypervisor_a.boot_nsm(
+        NsmSpec(congestion_control="cubic", rx_chunk_bytes=8192)
+    )
+    nsm_b = testbed.hypervisor_b.boot_nsm(
+        NsmSpec(congestion_control="cubic", rx_chunk_bytes=8192)
+    )
+    vm_a = testbed.hypervisor_a.boot_netkernel_vm("client", nsm_a, vcpus=4)
+    vm_b = testbed.hypervisor_b.boot_netkernel_vm("server", nsm_b, vcpus=4)
+
+    # Bulk flows saturating the server VM's receive queue with DATA nqes.
+    receivers = []
+    for i in range(bulk_flows):
+        port = 5000 + i
+        receivers.append(BulkReceiver(sim, vm_b.api, port, warmup=0.0))
+        BulkSender(sim, vm_a.api, Endpoint(vm_b.api.ip, port))
+    # Short web requests served by the same VM.
+    WebServer(sim, vm_b.api, port=80, response_bytes=2048)
+    web_client = WebClient(
+        sim,
+        vm_a.api,
+        Endpoint(vm_b.api.ip, 80),
+        response_bytes=2048,
+        start_delay=0.02,
+    )
+    sim.run(until=duration)
+    latency = web_client.latency
+    attachment = testbed.hypervisor_b.coreengine.attachment_of(vm_b.vm_id)
+    return PriorityRow(
+        queue_kind="priority" if priority else "fifo",
+        request_p50_us=latency.p(50) * 1e6 if len(latency) else float("nan"),
+        request_p99_us=latency.p(99) * 1e6 if len(latency) else float("nan"),
+        requests_completed=web_client.completed,
+        bulk_gbps=sum(rx.meter.bps(until=duration) for rx in receivers) / 1e9,
+        max_ring_depth=attachment.receive_queue.high_watermark,
+    )
+
+
+def run_priority_ablation(
+    duration: float = 0.3, bulk_flows: int = 3
+) -> PriorityResult:
+    """FIFO vs priority rings under identical load."""
+    return PriorityResult(
+        rows=[
+            _measure(False, duration, bulk_flows),
+            _measure(True, duration, bulk_flows),
+        ]
+    )

@@ -1,0 +1,212 @@
+"""Shared experiment scaffolding: testbeds mirroring the paper's setup.
+
+Two environments appear in §4:
+
+* **LAN testbed** — two servers (Xeon 8-core @ 2.3 GHz, 192 GB) with
+  40 GbE X710 NICs and SR-IOV, back-to-back (Figure 4, §4.2).
+* **WAN path** — a server behind a 12 Mbps uplink in Beijing talking to a
+  client in California, 350 ms average RTT (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..host import PhysicalHost
+from ..net import (
+    AddressAllocator,
+    CoreSwitch,
+    DuplexLink,
+    EpisodicLoss,
+    LossModel,
+    OffloadConfig,
+)
+from ..netkernel import CoreEngineConfig, Hypervisor
+from ..sim import Simulator
+
+__all__ = [
+    "LanTestbed",
+    "WanTestbed",
+    "ClusterTestbed",
+    "make_cluster_testbed",
+    "make_lan_testbed",
+    "make_wan_testbed",
+    "LAN_RATE_BPS",
+    "LAN_LINE_RATE_GBPS",
+    "WAN_UPLINK_BPS",
+    "WAN_RTT",
+    "FIG4_SOCKET_BUF",
+    "default_wan_loss",
+]
+
+#: 40 GbE, as in the prototype.
+LAN_RATE_BPS = 40e9
+#: Achievable TCP goodput on 40 GbE after framing overhead ("line rate
+#: (~37 Gbps)" in §4.2).
+LAN_LINE_RATE_GBPS = 37.6
+#: Figure 5's server uplink and round-trip time.
+WAN_UPLINK_BPS = 12e6
+WAN_RTT = 0.350
+#: Socket buffers for the Figure 4 runs (single flow below line rate,
+#: two or more flows reach it — see EXPERIMENTS.md).
+FIG4_SOCKET_BUF = 160 * 1024
+
+
+def default_wan_loss(seed: int = 1) -> LossModel:
+    """The calibrated Beijing->California loss process.
+
+    Congestion episodes from cross traffic (Poisson, ~8 s apart) over a
+    light random background loss — see DESIGN.md and EXPERIMENTS.md for
+    the calibration rationale and its limits.
+    """
+    return EpisodicLoss(mean_interval=8.0, burst_len=1, background_p=3e-4, seed=seed)
+
+
+@dataclass
+class LanTestbed:
+    sim: Simulator
+    host_a: PhysicalHost
+    host_b: PhysicalHost
+    hypervisor_a: Hypervisor
+    hypervisor_b: Hypervisor
+    wire: DuplexLink
+
+
+def make_lan_testbed(
+    rate_bps: float = LAN_RATE_BPS,
+    propagation_delay: float = 5e-6,
+    queue_bytes: int = 2 * 1024 * 1024,
+    sriov: bool = True,
+    coreengine_config: Optional[CoreEngineConfig] = None,
+) -> LanTestbed:
+    """Two back-to-back hosts, as in the prototype testbed (§4.1)."""
+    sim = Simulator()
+    host_a = PhysicalHost(
+        sim, "hostA", "10.1.255.1", sriov=sriov, addresses=AddressAllocator("10.1")
+    )
+    host_b = PhysicalHost(
+        sim, "hostB", "10.2.255.1", sriov=sriov, addresses=AddressAllocator("10.2")
+    )
+    wire = DuplexLink(
+        sim,
+        rate_bps=rate_bps,
+        propagation_delay=propagation_delay,
+        queue_bytes=queue_bytes,
+        name="40g-wire",
+    )
+    host_a.pnic.wire = wire.a_to_b.send
+    host_b.pnic.wire = wire.b_to_a.send
+    wire.attach(host_a.pnic.wire_receive, host_b.pnic.wire_receive)
+    return LanTestbed(
+        sim=sim,
+        host_a=host_a,
+        host_b=host_b,
+        hypervisor_a=Hypervisor(sim, host_a, coreengine_config),
+        hypervisor_b=Hypervisor(sim, host_b, coreengine_config),
+        wire=wire,
+    )
+
+
+@dataclass
+class WanTestbed:
+    sim: Simulator
+    server_host: PhysicalHost
+    client_host: PhysicalHost
+    server_hypervisor: Hypervisor
+    client_hypervisor: Hypervisor
+    wire: DuplexLink
+
+
+def make_wan_testbed(
+    uplink_bps: float = WAN_UPLINK_BPS,
+    downlink_bps: float = 100e6,
+    rtt: float = WAN_RTT,
+    queue_bytes: int = 96 * 1024,  # a shallow uplink-modem queue
+    loss: Optional[LossModel] = None,
+    seed: int = 1,
+) -> WanTestbed:
+    """Figure 5's path: datacenter server -> transpacific WAN -> client.
+
+    Loss applies on the server's uplink direction (where the data flows);
+    the reverse (ACK) direction is clean — asymmetric, like the real path.
+    """
+    sim = Simulator()
+    # No TSO super-segments on the WAN path: at 12 Mbps, Linux's TSO
+    # autosizing degenerates to MTU-sized frames anyway.
+    wan_offload = OffloadConfig(tso=False)
+    server = PhysicalHost(
+        sim,
+        "beijing",
+        "10.1.255.1",
+        addresses=AddressAllocator("10.1"),
+        offload=wan_offload,
+    )
+    client = PhysicalHost(
+        sim,
+        "california",
+        "10.2.255.1",
+        addresses=AddressAllocator("10.2"),
+        offload=wan_offload,
+    )
+    wire = DuplexLink(
+        sim,
+        rate_bps=uplink_bps,
+        rate_bps_reverse=downlink_bps,
+        propagation_delay=rtt / 2.0,
+        queue_bytes=queue_bytes,
+        loss=loss if loss is not None else default_wan_loss(seed),
+        name="wan",
+    )
+    server.pnic.wire = wire.a_to_b.send
+    client.pnic.wire = wire.b_to_a.send
+    wire.attach(server.pnic.wire_receive, client.pnic.wire_receive)
+    return WanTestbed(
+        sim=sim,
+        server_host=server,
+        client_host=client,
+        server_hypervisor=Hypervisor(sim, server),
+        client_hypervisor=Hypervisor(sim, client),
+        wire=wire,
+    )
+
+
+@dataclass
+class ClusterTestbed:
+    """N hosts joined by a core switch (multi-host scenarios)."""
+
+    sim: Simulator
+    hosts: list
+    hypervisors: list
+    core: CoreSwitch
+
+
+def make_cluster_testbed(
+    n_hosts: int = 4,
+    rate_bps: float = LAN_RATE_BPS,
+    propagation_delay: float = 5e-6,
+    queue_bytes: int = 2 * 1024 * 1024,
+    ecn_threshold_bytes: Optional[int] = None,
+) -> ClusterTestbed:
+    """A small cluster: every host uplinks into one core switch."""
+    if n_hosts < 2:
+        raise ValueError("a cluster needs at least 2 hosts")
+    sim = Simulator()
+    core = CoreSwitch(sim, ecn_threshold_bytes=ecn_threshold_bytes)
+    hosts, hypervisors = [], []
+    for index in range(n_hosts):
+        host = PhysicalHost(
+            sim,
+            f"host{index}",
+            f"10.{index + 1}.255.1",
+            addresses=AddressAllocator(f"10.{index + 1}"),
+        )
+        core.attach_host(
+            host,
+            rate_bps=rate_bps,
+            propagation_delay=propagation_delay,
+            queue_bytes=queue_bytes,
+        )
+        hosts.append(host)
+        hypervisors.append(Hypervisor(sim, host))
+    return ClusterTestbed(sim=sim, hosts=hosts, hypervisors=hypervisors, core=core)

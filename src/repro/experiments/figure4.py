@@ -1,0 +1,128 @@
+"""Figure 4: throughput of TCP Cubic, native vs NetKernel Cubic NSM.
+
+The paper's result: the Cubic NSM achieves "virtually same throughput
+with running TCP Cubic natively in the VM", with both reaching line rate
+(~37 Gbps) at two or more flows.  One flow sits below line rate (bounded
+by the per-connection window against the end-to-end RTT); aggregate
+throughput saturates the 40 GbE wire from two flows on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..apps import BulkReceiver, BulkSender
+from ..netkernel import NsmSpec
+from .common import FIG4_SOCKET_BUF, LAN_LINE_RATE_GBPS, make_lan_testbed
+
+__all__ = ["Figure4Row", "Figure4Result", "run_figure4", "measure_lan_throughput"]
+
+#: Paper numbers (eyeballed from Figure 4): both systems track each other,
+#: reaching line rate with >= 2 flows.
+PAPER_SHAPE = {
+    1: "below line rate",
+    2: "~line rate (37 Gbps)",
+    3: "~line rate (37 Gbps)",
+}
+
+
+@dataclass
+class Figure4Row:
+    flows: int
+    native_gbps: float
+    nsm_gbps: float
+
+    @property
+    def ratio(self) -> float:
+        """NSM throughput relative to native (1.0 = identical)."""
+        if self.native_gbps == 0:
+            return 0.0
+        return self.nsm_gbps / self.native_gbps
+
+
+@dataclass
+class Figure4Result:
+    rows: List[Figure4Row]
+    line_rate_gbps: float = LAN_LINE_RATE_GBPS
+
+    def table(self) -> str:
+        lines = [
+            "Figure 4: TCP Cubic throughput, native guest vs NetKernel NSM",
+            f"{'flows':>6} {'Linux (CUBIC)':>15} {'CUBIC NSM':>12} {'NSM/native':>11}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.flows:>6} {row.native_gbps:>12.2f} Gbps "
+                f"{row.nsm_gbps:>9.2f} Gbps {row.ratio:>10.2f}x"
+            )
+        lines.append(f"(40 GbE line rate after framing: ~{self.line_rate_gbps} Gbps)")
+        return "\n".join(lines)
+
+
+def measure_lan_throughput(
+    mode: str,
+    flows: int,
+    congestion_control: str = "cubic",
+    duration: float = 0.35,
+    warmup: float = 0.1,
+    socket_buf: int = FIG4_SOCKET_BUF,
+) -> float:
+    """Aggregate goodput (Gbps) of ``flows`` bulk flows on the LAN testbed."""
+    if mode not in ("native", "netkernel"):
+        raise ValueError(f"mode must be 'native' or 'netkernel', got {mode!r}")
+    testbed = make_lan_testbed()
+    sim = testbed.sim
+    overrides = {"rcvbuf": socket_buf, "sndbuf": socket_buf}
+
+    if mode == "netkernel":
+        nsm_a = testbed.hypervisor_a.boot_nsm(
+            NsmSpec(congestion_control=congestion_control, tcp_overrides=overrides)
+        )
+        nsm_b = testbed.hypervisor_b.boot_nsm(
+            NsmSpec(congestion_control=congestion_control, tcp_overrides=overrides)
+        )
+        vm_a = testbed.hypervisor_a.boot_netkernel_vm("client", nsm_a, vcpus=4)
+        vm_b = testbed.hypervisor_b.boot_netkernel_vm("server", nsm_b, vcpus=4)
+    else:
+        vm_a = testbed.hypervisor_a.boot_legacy_vm(
+            "client",
+            vcpus=4,
+            congestion_control=congestion_control,
+            tcp_overrides=overrides,
+        )
+        vm_b = testbed.hypervisor_b.boot_legacy_vm(
+            "server",
+            vcpus=4,
+            congestion_control=congestion_control,
+            tcp_overrides=overrides,
+        )
+
+    receivers = []
+    for i in range(flows):
+        port = 5000 + i
+        receivers.append(BulkReceiver(sim, vm_b.api, port, warmup=warmup))
+        BulkSender(sim, vm_a.api, remote_for(vm_b, port))
+    sim.run(until=duration)
+    total_bps = sum(rx.meter.bps(until=duration) for rx in receivers)
+    return total_bps / 1e9
+
+
+def remote_for(vm, port: int):
+    from ..net import Endpoint
+
+    return Endpoint(vm.api.ip, port)
+
+
+def run_figure4(
+    flow_counts: Sequence[int] = (1, 2, 3),
+    duration: float = 0.35,
+    warmup: float = 0.1,
+) -> Figure4Result:
+    """Regenerate Figure 4: one row per flow count."""
+    rows = []
+    for flows in flow_counts:
+        native = measure_lan_throughput("native", flows, duration=duration, warmup=warmup)
+        nsm = measure_lan_throughput("netkernel", flows, duration=duration, warmup=warmup)
+        rows.append(Figure4Row(flows=flows, native_gbps=native, nsm_gbps=nsm))
+    return Figure4Result(rows=rows)

@@ -1,0 +1,37 @@
+"""Provider management plane: SLAs, pricing, accounting, scaling, placement."""
+
+from .accounting import Accountant, UsageRecord
+from .multiplexing import NsmPlacer
+from .monitor import Signal, Trigger, TriggerEngine, TriggerEvent
+from .pingmesh import PingmeshMesh, ProbeFailure
+from .pricing import (
+    PerCorePricing,
+    PerInstancePricing,
+    PricingModel,
+    SlaPricing,
+    UtilizationPricing,
+)
+from .scaling import ScalingController, ScalingPolicy
+from .sla import SlaMonitor, SlaReport, SlaSpec
+
+__all__ = [
+    "SlaSpec",
+    "SlaReport",
+    "SlaMonitor",
+    "PricingModel",
+    "PerInstancePricing",
+    "PerCorePricing",
+    "UtilizationPricing",
+    "SlaPricing",
+    "Accountant",
+    "UsageRecord",
+    "ScalingController",
+    "ScalingPolicy",
+    "NsmPlacer",
+    "PingmeshMesh",
+    "ProbeFailure",
+    "Signal",
+    "Trigger",
+    "TriggerEngine",
+    "TriggerEvent",
+]

@@ -1,0 +1,100 @@
+"""Pricing models for network stack as a service (§5).
+
+The paper proposes charging by NSM instance, by cores, by average
+CPU/memory utilization, or by SLA level (max connections / max
+throughput).  All four are implemented so the pricing example can compare
+what a tenant would pay under each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netkernel.nsm import NSM
+
+__all__ = [
+    "PricingModel",
+    "PerInstancePricing",
+    "PerCorePricing",
+    "UtilizationPricing",
+    "SlaPricing",
+]
+
+
+class PricingModel:
+    """Computes a tenant's bill for one NSM over ``hours`` of service."""
+
+    name = "base"
+
+    def bill(self, nsm: NSM, hours: float) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class PerInstancePricing(PricingModel):
+    """Flat rate per NSM instance-hour (like VM instance pricing)."""
+
+    rate_per_instance_hour: float = 0.05
+    name = "per-instance"
+
+    def bill(self, nsm: NSM, hours: float) -> float:
+        if hours < 0:
+            raise ValueError("negative billing period")
+        return self.rate_per_instance_hour * hours
+
+
+@dataclass
+class PerCorePricing(PricingModel):
+    """Rate per dedicated NSM core-hour plus a per-GB memory rate."""
+
+    rate_per_core_hour: float = 0.04
+    rate_per_gb_hour: float = 0.005
+    name = "per-core"
+
+    def bill(self, nsm: NSM, hours: float) -> float:
+        if hours < 0:
+            raise ValueError("negative billing period")
+        cores = len(nsm.cores)
+        memory = nsm.form.memory_gb
+        return (
+            cores * self.rate_per_core_hour + memory * self.rate_per_gb_hour
+        ) * hours
+
+
+@dataclass
+class UtilizationPricing(PricingModel):
+    """Charges only for CPU actually consumed (multiplexing-friendly)."""
+
+    rate_per_busy_core_hour: float = 0.08
+    floor_per_hour: float = 0.002
+    name = "utilization"
+
+    def bill(self, nsm: NSM, hours: float) -> float:
+        if hours < 0:
+            raise ValueError("negative billing period")
+        utilization = nsm.cpu_utilization()
+        used_core_hours = utilization * len(nsm.cores) * hours
+        return max(
+            self.floor_per_hour * hours,
+            used_core_hours * self.rate_per_busy_core_hour,
+        )
+
+
+@dataclass
+class SlaPricing(PricingModel):
+    """SLA-level pricing: pay for guaranteed throughput and connections."""
+
+    rate_per_gbps_hour: float = 0.03
+    rate_per_1k_connections_hour: float = 0.01
+    guaranteed_gbps: float = 1.0
+    guaranteed_connections: int = 1000
+    name = "sla"
+
+    def bill(self, nsm: NSM, hours: float) -> float:
+        if hours < 0:
+            raise ValueError("negative billing period")
+        return (
+            self.guaranteed_gbps * self.rate_per_gbps_hour
+            + (self.guaranteed_connections / 1000.0)
+            * self.rate_per_1k_connections_hour
+        ) * hours

@@ -1,0 +1,118 @@
+"""Packet capture: tcpdump for the simulated network.
+
+A :class:`PacketTrace` taps any link (or both halves of a duplex link)
+and records one entry per delivered packet — timestamp, endpoints, size,
+and a decoded TCP summary when the payload is a segment.  Filters narrow
+captures to a flow or port, and :meth:`text` renders a tcpdump-style
+listing for debugging and for assertions in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .link import DuplexLink, Link
+from .packet import Packet
+
+__all__ = ["CaptureEntry", "PacketTrace"]
+
+
+@dataclass
+class CaptureEntry:
+    at: float
+    link: str
+    src: str
+    dst: str
+    payload_bytes: int
+    summary: str
+
+    def render(self) -> str:
+        return (
+            f"{self.at * 1e3:10.3f}ms {self.link:>14} "
+            f"{self.src} > {self.dst}: {self.summary}"
+        )
+
+
+class PacketTrace:
+    """Captures packets crossing tapped links."""
+
+    def __init__(
+        self,
+        max_entries: int = 100_000,
+        port: Optional[int] = None,
+        predicate: Optional[Callable[[Packet], bool]] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.port = port
+        self.predicate = predicate
+        self.entries: List[CaptureEntry] = []
+        self.dropped_overflow = 0
+
+    # ------------------------------------------------------------------ taps --
+    def tap(self, link: Link) -> None:
+        """Insert this trace into ``link``'s delivery path."""
+        downstream = link.deliver
+
+        def tapped(packet: Packet) -> None:
+            self._observe(link.sim.now, link.name, packet)
+            if downstream is not None:
+                downstream(packet)
+
+        link.deliver = tapped
+
+    def tap_duplex(self, duplex: DuplexLink) -> None:
+        self.tap(duplex.a_to_b)
+        self.tap(duplex.b_to_a)
+
+    # --------------------------------------------------------------- capture --
+    def _matches(self, packet: Packet) -> bool:
+        if self.predicate is not None and not self.predicate(packet):
+            return False
+        if self.port is not None:
+            seg = packet.payload
+            ports = {getattr(seg, "src_port", None), getattr(seg, "dst_port", None)}
+            if self.port not in ports:
+                return False
+        return True
+
+    def _observe(self, now: float, link_name: str, packet: Packet) -> None:
+        if not self._matches(packet):
+            return
+        if len(self.entries) >= self.max_entries:
+            self.dropped_overflow += 1
+            return
+        seg = packet.payload
+        summary = (
+            seg.describe() if hasattr(seg, "describe") else f"{packet.protocol}"
+        )
+        self.entries.append(
+            CaptureEntry(
+                at=now,
+                link=link_name,
+                src=packet.src,
+                dst=packet.dst,
+                payload_bytes=packet.payload_bytes,
+                summary=summary,
+            )
+        )
+
+    # ---------------------------------------------------------------- queries --
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def between(self, start: float, end: float) -> List[CaptureEntry]:
+        return [e for e in self.entries if start <= e.at < end]
+
+    def count(self, substring: str) -> int:
+        """Entries whose TCP summary contains ``substring`` (e.g. 'S ')."""
+        return sum(1 for e in self.entries if substring in e.summary)
+
+    def total_payload_bytes(self) -> int:
+        return sum(e.payload_bytes for e in self.entries)
+
+    def text(self, limit: Optional[int] = None) -> str:
+        rows = self.entries if limit is None else self.entries[:limit]
+        return "\n".join(entry.render() for entry in rows)

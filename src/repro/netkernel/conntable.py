@@ -1,0 +1,72 @@
+"""CoreEngine's connection mapping table.
+
+Maps ``<VM ID, fd>`` to ``<NSM ID, cID>`` and back (Figure 3).  CoreEngine
+assigns fds on behalf of VMs (for both socket() calls and incoming accepts)
+and cIDs on behalf of NSMs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ConnectionTable"]
+
+VmKey = Tuple[int, int]  # (vm_id, fd)
+NsmKey = Tuple[int, int]  # (nsm_id, cid)
+
+
+class ConnectionTable:
+    """Bidirectional <VM ID, fd> <-> <NSM ID, cID> map with ID allocation."""
+
+    def __init__(self) -> None:
+        self._vm_to_nsm: Dict[VmKey, NsmKey] = {}
+        self._nsm_to_vm: Dict[NsmKey, VmKey] = {}
+        self._next_fd: Dict[int, int] = {}
+        self._next_cid: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._vm_to_nsm)
+
+    # -- allocation ---------------------------------------------------------
+    def allocate_fd(self, vm_id: int) -> int:
+        """New guest-side fd (CoreEngine assigns these immediately, §3.2)."""
+        fd = self._next_fd.get(vm_id, 3)
+        self._next_fd[vm_id] = fd + 1
+        return fd
+
+    def allocate_cid(self, nsm_id: int) -> int:
+        cid = self._next_cid.get(nsm_id, 1)
+        self._next_cid[nsm_id] = cid + 1
+        return cid
+
+    # -- mapping ---------------------------------------------------------------
+    def insert(self, vm_id: int, fd: int, nsm_id: int, cid: int) -> None:
+        vm_key, nsm_key = (vm_id, fd), (nsm_id, cid)
+        if vm_key in self._vm_to_nsm:
+            raise KeyError(f"duplicate mapping for VM{vm_id} fd{fd}")
+        if nsm_key in self._nsm_to_vm:
+            raise KeyError(f"duplicate mapping for NSM{nsm_id} cid{cid}")
+        self._vm_to_nsm[vm_key] = nsm_key
+        self._nsm_to_vm[nsm_key] = vm_key
+
+    def to_nsm(self, vm_id: int, fd: int) -> Optional[NsmKey]:
+        return self._vm_to_nsm.get((vm_id, fd))
+
+    def to_vm(self, nsm_id: int, cid: int) -> Optional[VmKey]:
+        return self._nsm_to_vm.get((nsm_id, cid))
+
+    def remove_by_vm(self, vm_id: int, fd: int) -> None:
+        nsm_key = self._vm_to_nsm.pop((vm_id, fd), None)
+        if nsm_key is not None:
+            self._nsm_to_vm.pop(nsm_key, None)
+
+    def remove_by_nsm(self, nsm_id: int, cid: int) -> None:
+        vm_key = self._nsm_to_vm.pop((nsm_id, cid), None)
+        if vm_key is not None:
+            self._vm_to_nsm.pop(vm_key, None)
+
+    def connections_of_vm(self, vm_id: int) -> list[VmKey]:
+        return [key for key in self._vm_to_nsm if key[0] == vm_id]
+
+    def connections_of_nsm(self, nsm_id: int) -> list[NsmKey]:
+        return [key for key in self._nsm_to_vm if key[0] == nsm_id]

@@ -1,0 +1,270 @@
+"""NetKernel CoreEngine: the per-host daemon on the hypervisor (§3).
+
+CoreEngine owns the connection mapping table and shuttles nqes between VM
+queues and NSM queues, translating ``<VM ID, fd>`` to ``<NSM ID, cID>`` on
+the way (Figure 3).  Each nqe copy costs ~12 ns (§4.2) on the hypervisor
+core.  CoreEngine also:
+
+* answers ``socket()`` directly — it assigns the fd immediately and
+  *independently* asks the NSM for a backend socket (§3.2);
+* turns NSM accept events into new guest fds plus mapping entries;
+* sets up queues, huge pages, GuestLib and ServiceLib when a VM boots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..host.cpu import Core
+from ..sim import NANOS, Simulator
+from .conntable import ConnectionTable
+from .guestlib import GuestLib
+from .hugepages import HugePageRegion
+from .nqe import NQE_COPY_NS, Nqe, NqeOp, NqeStatus
+from .nsm import NSM
+from .queues import NotifyMode, NqeRing, PriorityNqeRing
+from .servicelib import ServiceLib
+
+__all__ = ["CoreEngineConfig", "CoreEngine", "VmAttachment"]
+
+INTERRUPT_DELAY = 10e-6
+INTERRUPT_COST_NS = 2000.0
+
+
+@dataclass
+class CoreEngineConfig:
+    """CoreEngine policy knobs (the §5 research-agenda dials)."""
+
+    notify_mode: NotifyMode = NotifyMode.POLLING
+    #: Use priority rings (connection events before data events, §3.2).
+    priority_queues: bool = False
+    ring_capacity: int = 4096
+    nqe_copy_ns: float = NQE_COPY_NS
+    #: Single-threaded GuestLib receive processing (copies inline in the
+    #: poll loop, as the prototype does) — the HoL-prone configuration.
+    inline_rx_copy: bool = False
+
+
+@dataclass
+class VmAttachment:
+    """Everything CoreEngine wires up for one tenant VM."""
+
+    vm_id: int
+    nsm: NSM
+    guestlib: GuestLib
+    region: HugePageRegion
+    job_queue: NqeRing
+    completion_queue: NqeRing
+    receive_queue: NqeRing
+
+
+@dataclass
+class _NsmQueues:
+    job: NqeRing
+    completion: NqeRing
+    receive: NqeRing
+    servicelib: ServiceLib
+
+
+class CoreEngine:
+    """The hypervisor daemon connecting GuestLibs and ServiceLibs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core: Core,
+        config: Optional[CoreEngineConfig] = None,
+        name: str = "coreengine",
+    ) -> None:
+        self.sim = sim
+        self.core = core
+        self.config = config or CoreEngineConfig()
+        self.name = name
+        self.table = ConnectionTable()
+        self._vms: Dict[int, VmAttachment] = {}
+        self._nsms: Dict[int, _NsmQueues] = {}
+        self._next_vm_id = 1
+        self.nqes_copied = 0
+        if self.config.notify_mode is NotifyMode.POLLING:
+            core.busy_poll = True
+
+    # ------------------------------------------------------------------ setup --
+    def _ring(self, name: str) -> NqeRing:
+        cls = PriorityNqeRing if self.config.priority_queues else NqeRing
+        return cls(self.sim, self.config.ring_capacity, name=name)
+
+    def attach_nsm(self, nsm: NSM) -> _NsmQueues:
+        """Create the NSM-side queues and its ServiceLib (idempotent)."""
+        queues = self._nsms.get(nsm.nsm_id)
+        if queues is not None:
+            return queues
+        job = self._ring(f"{nsm.name}.job")
+        completion = self._ring(f"{nsm.name}.cq")
+        receive = self._ring(f"{nsm.name}.rq")
+        servicelib = ServiceLib(
+            self.sim,
+            nsm,
+            job_queue=job,
+            completion_queue=completion,
+            receive_queue=receive,
+            allocate_cid=lambda: self.table.allocate_cid(nsm.nsm_id),
+            notify_mode=self.config.notify_mode,
+        )
+        queues = _NsmQueues(job, completion, receive, servicelib)
+        self._nsms[nsm.nsm_id] = queues
+        self.sim.process(
+            self._nsm_completion_mover(nsm, queues), name=f"{self.name}.cq.{nsm.name}"
+        )
+        self.sim.process(
+            self._nsm_receive_mover(nsm, queues), name=f"{self.name}.rq.{nsm.name}"
+        )
+        return queues
+
+    def attach_vm(self, vm_core: Core, nsm: NSM, memcpy=None) -> VmAttachment:
+        """Boot-time plumbing for one VM served by ``nsm`` (§3.1)."""
+        if not nsm.can_accept_tenant():
+            raise RuntimeError(f"{nsm.name} is at tenant capacity")
+        self.attach_nsm(nsm)
+        vm_id = self._next_vm_id
+        self._next_vm_id += 1
+
+        region = HugePageRegion(
+            self.sim, memcpy or nsm.host.memcpy, name=f"vm{vm_id}.hp"
+        )
+        job = self._ring(f"vm{vm_id}.job")
+        completion = self._ring(f"vm{vm_id}.cq")
+        receive = self._ring(f"vm{vm_id}.rq")
+        guestlib = GuestLib(
+            self.sim,
+            vm_id,
+            nsm_ip=nsm.ip,
+            core=vm_core,
+            job_queue=job,
+            completion_queue=completion,
+            receive_queue=receive,
+            region=region,
+            notify_mode=self.config.notify_mode,
+            inline_rx_copy=self.config.inline_rx_copy,
+        )
+        attachment = VmAttachment(
+            vm_id=vm_id,
+            nsm=nsm,
+            guestlib=guestlib,
+            region=region,
+            job_queue=job,
+            completion_queue=completion,
+            receive_queue=receive,
+        )
+        self._vms[vm_id] = attachment
+        nsm.tenant_vm_ids.append(vm_id)
+        self.sim.process(
+            self._vm_job_mover(attachment), name=f"{self.name}.job.vm{vm_id}"
+        )
+        return attachment
+
+    # ------------------------------------------------------------ mover loops --
+    def _consume(self, ring: NqeRing):
+        """Shared consumer prologue: doorbell + (optional) interrupt cost."""
+        yield ring.wait_nonempty()
+        if self.config.notify_mode is NotifyMode.BATCHED_INTERRUPT:
+            yield self.sim.timeout(INTERRUPT_DELAY)
+            yield self.core.execute(INTERRUPT_COST_NS * NANOS)
+
+    def _copy_cost(self):
+        self.nqes_copied += 1
+        return self.core.execute(self.config.nqe_copy_ns * NANOS)
+
+    def _vm_job_mover(self, attachment: VmAttachment):
+        """VM job queue -> NSM job queue (with fd -> cID mapping)."""
+        vm_id = attachment.vm_id
+        nsm = attachment.nsm
+        nsm_queues = self._nsms[nsm.nsm_id]
+        while True:
+            yield from self._consume(attachment.job_queue)
+            for nqe in attachment.job_queue.pop_batch():
+                yield self._copy_cost()
+                if nqe.op is NqeOp.SOCKET:
+                    # Assign the fd immediately (§3.2) ...
+                    fd = self.table.allocate_fd(vm_id)
+                    response = nqe.completion(NqeStatus.OK, result=fd)
+                    response.fd = fd
+                    yield attachment.completion_queue.push(response)
+                    # ... and independently request a backend socket.
+                    cid = self.table.allocate_cid(nsm.nsm_id)
+                    self.table.insert(vm_id, fd, nsm.nsm_id, cid)
+                    yield nsm_queues.job.push(
+                        Nqe(
+                            op=NqeOp.SOCKET,
+                            vm_id=vm_id,
+                            fd=fd,
+                            nsm_id=nsm.nsm_id,
+                            cid=cid,
+                            args=attachment.region,
+                        )
+                    )
+                    continue
+                mapping = self.table.to_nsm(vm_id, nqe.fd)
+                if mapping is None:
+                    yield attachment.completion_queue.push(
+                        nqe.completion(
+                            NqeStatus.ERROR,
+                            result=RuntimeError(f"no mapping for fd {nqe.fd}"),
+                        )
+                    )
+                    continue
+                nqe.nsm_id, nqe.cid = mapping
+                yield nsm_queues.job.push(nqe)
+
+    def _nsm_completion_mover(self, nsm: NSM, queues: _NsmQueues):
+        """NSM completion queue -> owning VM's completion queue."""
+        while True:
+            yield from self._consume(queues.completion)
+            for nqe in queues.completion.pop_batch():
+                yield self._copy_cost()
+                vm_key = self.table.to_vm(nsm.nsm_id, nqe.cid)
+                if vm_key is None:
+                    continue  # race with teardown
+                vm_id, fd = vm_key
+                attachment = self._vms.get(vm_id)
+                if attachment is None:
+                    continue
+                nqe.vm_id, nqe.fd = vm_id, fd
+                if nqe.args is NqeOp.CLOSE:
+                    self.table.remove_by_vm(vm_id, fd)
+                yield attachment.completion_queue.push(nqe)
+
+    def _nsm_receive_mover(self, nsm: NSM, queues: _NsmQueues):
+        """NSM receive queue -> owning VM's receive queue."""
+        while True:
+            yield from self._consume(queues.receive)
+            for nqe in queues.receive.pop_batch():
+                yield self._copy_cost()
+                vm_key = self.table.to_vm(nsm.nsm_id, nqe.cid)
+                if vm_key is None:
+                    if nqe.data_desc is not None:
+                        nqe.data_desc.free()
+                    continue
+                vm_id, fd = vm_key
+                attachment = self._vms.get(vm_id)
+                if attachment is None:
+                    continue
+                nqe.vm_id, nqe.fd = vm_id, fd
+                if nqe.op is NqeOp.ACCEPT_EVENT:
+                    # Generate a guest fd for the new flow (§3.2).
+                    child_cid = nqe.result
+                    child_fd = self.table.allocate_fd(vm_id)
+                    self.table.insert(vm_id, child_fd, nsm.nsm_id, child_cid)
+                    nqe.result = child_fd
+                yield attachment.receive_queue.push(nqe)
+
+    # -------------------------------------------------------------- inspection --
+    def attachment_of(self, vm_id: int) -> VmAttachment:
+        return self._vms[vm_id]
+
+    def nsm_queues(self, nsm_id: int) -> _NsmQueues:
+        return self._nsms[nsm_id]
+
+    @property
+    def vm_count(self) -> int:
+        return len(self._vms)

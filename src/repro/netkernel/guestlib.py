@@ -1,0 +1,330 @@
+"""GuestLib: the guest-side half of NetKernel (§3.2, §4.1).
+
+GuestLib intercepts the socket API inside the tenant VM (the prototype
+uses LD_PRELOAD over glibc) and turns every call into an nqe in the VM job
+queue.  Results come back through the VM completion queue; received data
+and accept events arrive through the VM receive queue.  Bulk data moves
+through the per-(VM, NSM) huge pages with calibrated memcpy costs.
+
+GuestLib implements :class:`~repro.api.socket_api.SocketApi`, so tenant
+applications are byte-for-byte identical to the legacy in-kernel path —
+the paper's central compatibility claim.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..api.errors import BadFileDescriptor, InvalidSocketState, SocketError
+from ..api.socket_api import SocketApi
+from ..host.cpu import Core
+from ..net import Endpoint
+from ..sim import Event, NANOS, Simulator
+from .hugepages import HugeChunk, HugePageRegion
+from .nqe import Nqe, NqeOp, NqeStatus
+from .queues import NotifyMode, NqeRing
+
+__all__ = ["GuestLib", "GUESTLIB_OP_NS"]
+
+#: CPU cost of GuestLib intercepting one call / handling one nqe.
+GUESTLIB_OP_NS = 200.0
+INTERRUPT_DELAY = 10e-6
+INTERRUPT_COST_NS = 2000.0
+
+
+class _GuestSocket:
+    """GuestLib's per-fd state."""
+
+    __slots__ = (
+        "fd",
+        "connected",
+        "listening",
+        "eof",
+        "rx_chunks",
+        "rx_available",
+        "readers",
+        "watchers",
+        "accept_ready",
+        "acceptors",
+        "closed",
+    )
+
+    def __init__(self, fd: int, connected: bool = False) -> None:
+        self.fd = fd
+        self.connected = connected
+        self.listening = False
+        self.eof = False
+        self.rx_chunks: Deque[HugeChunk] = deque()
+        self.rx_available = 0
+        self.readers: Deque[Tuple[int, Event]] = deque()
+        self.watchers: List[Event] = []
+        self.accept_ready: Deque[int] = deque()
+        self.acceptors: Deque[Event] = deque()
+        self.closed = False
+
+    @property
+    def readable(self) -> bool:
+        if self.listening:
+            return bool(self.accept_ready)
+        return self.rx_available > 0 or self.eof
+
+
+class GuestLib(SocketApi):
+    """The NetKernel socket API inside a tenant VM."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        vm_id: int,
+        nsm_ip: str,
+        core: Core,
+        job_queue: NqeRing,
+        completion_queue: NqeRing,
+        receive_queue: NqeRing,
+        region: HugePageRegion,
+        notify_mode: NotifyMode = NotifyMode.POLLING,
+        inline_rx_copy: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.vm_id = vm_id
+        #: The VM's network identity is its NSM's address (§2.2).
+        self.ip = nsm_ip
+        self.core = core
+        self.job_queue = job_queue
+        self.completion_queue = completion_queue
+        self.receive_queue = receive_queue
+        self.region = region
+        self.notify_mode = notify_mode
+        #: When True, the receive loop copies each DATA chunk out of the
+        #: huge pages *inline* (single-threaded GuestLib, as in the
+        #: prototype's polling design) — subsequent nqes wait behind the
+        #: copy, which is the §3.2 head-of-line-blocking regime.
+        self.inline_rx_copy = inline_rx_copy
+        self._sockets: Dict[int, _GuestSocket] = {}
+        self._pending: Dict[int, Event] = {}  # token -> API event
+        self.calls_issued = 0
+        sim.process(self._completion_loop(), name=f"vm{vm_id}.guestlib.cq")
+        sim.process(self._receive_loop(), name=f"vm{vm_id}.guestlib.rq")
+
+    # ---------------------------------------------------------------- helpers --
+    def _get(self, fd: int) -> _GuestSocket:
+        try:
+            return self._sockets[fd]
+        except KeyError:
+            raise BadFileDescriptor(f"fd {fd}") from None
+
+    def _issue(self, nqe: Nqe) -> Event:
+        """Push a request nqe; returns the event resolved by its completion."""
+        self.calls_issued += 1
+        result = Event(self.sim)
+        self._pending[nqe.token] = result
+        charge = self.core.execute(GUESTLIB_OP_NS * NANOS)
+        charge.add_callback(lambda _ev: self.job_queue.push(nqe))
+        return result
+
+    # ---------------------------------------------------------------- SocketApi --
+    def socket(self) -> Event:
+        nqe = Nqe(op=NqeOp.SOCKET, vm_id=self.vm_id)
+        result = self._issue(nqe)
+        api_event = Event(self.sim)
+
+        def finish(ev: Event) -> None:
+            fd = ev.value
+            self._sockets[fd] = _GuestSocket(fd)
+            api_event.succeed(fd)
+
+        result.add_callback(finish)
+        return api_event
+
+    def bind(self, fd: int, port: int) -> Event:
+        self._get(fd)
+        return self._issue(Nqe(op=NqeOp.BIND, vm_id=self.vm_id, fd=fd, args=port))
+
+    def listen(self, fd: int, backlog: int = 128) -> Event:
+        sock = self._get(fd)
+        result = self._issue(
+            Nqe(op=NqeOp.LISTEN, vm_id=self.vm_id, fd=fd, args=backlog)
+        )
+        result.add_callback(lambda _ev: setattr(sock, "listening", True))
+        return result
+
+    def accept(self, fd: int) -> Event:
+        sock = self._get(fd)
+        event = Event(self.sim)
+        if sock.accept_ready:
+            event.succeed(sock.accept_ready.popleft())
+        else:
+            sock.acceptors.append(event)
+        return event
+
+    def connect(self, fd: int, remote: Endpoint) -> Event:
+        sock = self._get(fd)
+        if sock.connected:
+            raise InvalidSocketState(f"fd {fd} already connected")
+        result = self._issue(
+            Nqe(op=NqeOp.CONNECT, vm_id=self.vm_id, fd=fd, args=remote)
+        )
+        result.add_callback(lambda _ev: setattr(sock, "connected", True))
+        return result
+
+    def send(self, fd: int, nbytes: int) -> Event:
+        sock = self._get(fd)
+        if sock.closed:
+            raise InvalidSocketState(f"fd {fd} is closed")
+        api_event = Event(self.sim)
+        self.sim.process(self._send_proc(sock, nbytes, api_event))
+        return api_event
+
+    def _send_proc(self, sock: _GuestSocket, nbytes: int, api_event: Event):
+        # Stage data into the shared huge pages (copy cost on the VM core),
+        # then describe it with a SEND nqe.
+        chunk = yield self.region.alloc(nbytes)
+        yield self.region.copy(self.core, nbytes)
+        result = self._issue(
+            Nqe(op=NqeOp.SEND, vm_id=self.vm_id, fd=sock.fd, data_desc=chunk)
+        )
+
+        def finish(ev: Event) -> None:
+            if ev.ok:
+                api_event.succeed(nbytes)
+            else:
+                api_event.fail(ev.value)
+
+        result.add_callback(finish)
+
+    def recv(self, fd: int, max_bytes: int) -> Event:
+        sock = self._get(fd)
+        if max_bytes <= 0:
+            raise ValueError("recv size must be positive")
+        event = Event(self.sim)
+        sock.readers.append((max_bytes, event))
+        self._drain_readers(sock)
+        return event
+
+    def close(self, fd: int) -> Event:
+        sock = self._get(fd)
+        sock.closed = True
+        result = self._issue(Nqe(op=NqeOp.CLOSE, vm_id=self.vm_id, fd=fd))
+        result.add_callback(lambda _ev: self._sockets.pop(fd, None))
+        return result
+
+    def set_congestion_control(self, fd: int, name: str) -> None:
+        """Fire-and-forget setsockopt; errors surface on connect/listen.
+
+        A synchronous variant is available as :meth:`setsockopt_event` for
+        callers that want to observe the provider's answer.
+        """
+        self.setsockopt_event(fd, name)
+
+    def setsockopt_event(self, fd: int, name: str) -> Event:
+        self._get(fd)
+        return self._issue(
+            Nqe(
+                op=NqeOp.SETSOCKOPT,
+                vm_id=self.vm_id,
+                fd=fd,
+                args=("congestion_control", name),
+            )
+        )
+
+    # ------------------------------------------------------------- readiness --
+    def wait_readable(self, fd: int) -> Event:
+        sock = self._get(fd)
+        event = Event(self.sim)
+        if sock.readable:
+            event.succeed()
+        else:
+            sock.watchers.append(event)
+        return event
+
+    def readable_now(self, fd: int) -> bool:
+        return self._get(fd).readable
+
+    # --------------------------------------------------------- queue consumers --
+    def _completion_loop(self):
+        while True:
+            yield self.completion_queue.wait_nonempty()
+            if self.notify_mode is NotifyMode.BATCHED_INTERRUPT:
+                yield self.sim.timeout(INTERRUPT_DELAY)
+                yield self.core.execute(INTERRUPT_COST_NS * NANOS)
+            for nqe in self.completion_queue.pop_batch():
+                yield self.core.execute(GUESTLIB_OP_NS * NANOS)
+                self._handle_completion(nqe)
+
+    def _handle_completion(self, nqe: Nqe) -> None:
+        event = self._pending.pop(nqe.token, None)
+        if event is None:
+            return  # completion for a forgotten call
+        if nqe.status is NqeStatus.OK:
+            event.succeed(nqe.result if nqe.result is not None else nqe.fd)
+        else:
+            error = nqe.result
+            if not isinstance(error, BaseException):
+                error = SocketError(str(error))
+            event.fail(error)
+
+    def _receive_loop(self):
+        while True:
+            yield self.receive_queue.wait_nonempty()
+            if self.notify_mode is NotifyMode.BATCHED_INTERRUPT:
+                yield self.sim.timeout(INTERRUPT_DELAY)
+                yield self.core.execute(INTERRUPT_COST_NS * NANOS)
+            for nqe in self.receive_queue.pop_batch():
+                yield self.core.execute(GUESTLIB_OP_NS * NANOS)
+                yield from self._handle_receive(nqe)
+
+    def _handle_receive(self, nqe: Nqe):
+        sock = self._sockets.get(nqe.fd)
+        if sock is None:
+            if nqe.data_desc is not None:
+                nqe.data_desc.free()
+            return
+        if nqe.op is NqeOp.DATA:
+            if self.inline_rx_copy:
+                yield self.region.copy(self.core, nqe.data_desc.size)
+                nqe.data_desc.eof = True  # marker: already copied out
+            sock.rx_chunks.append([nqe.data_desc, nqe.data_desc.size])
+            sock.rx_available += nqe.data_desc.size
+            yield from self._drain_readers_gen(sock)
+        elif nqe.op is NqeOp.EOF:
+            sock.eof = True
+            yield from self._drain_readers_gen(sock)
+        elif nqe.op is NqeOp.ACCEPT_EVENT:
+            child_fd = nqe.result
+            self._sockets[child_fd] = _GuestSocket(child_fd, connected=True)
+            if sock.acceptors:
+                sock.acceptors.popleft().succeed(child_fd)
+            else:
+                sock.accept_ready.append(child_fd)
+        self._wake_watchers(sock)
+
+    def _wake_watchers(self, sock: _GuestSocket) -> None:
+        if sock.watchers and sock.readable:
+            watchers, sock.watchers = sock.watchers, []
+            for watcher in watchers:
+                watcher.succeed()
+
+    # -- reader satisfaction (copies data out of huge pages) -----------------
+    def _drain_readers(self, sock: _GuestSocket) -> None:
+        if sock.readers and (sock.rx_available > 0 or sock.eof):
+            self.sim.process(self._drain_readers_gen(sock))
+
+    def _drain_readers_gen(self, sock: _GuestSocket):
+        while sock.readers and (sock.rx_available > 0 or sock.eof):
+            max_bytes, event = sock.readers.popleft()
+            taken = 0
+            # Chunks may be consumed partially; a chunk's huge-page bytes
+            # are released once its last byte has been read out.
+            while sock.rx_chunks and taken < max_bytes:
+                entry = sock.rx_chunks[0]  # [chunk, bytes remaining]
+                take = min(entry[1], max_bytes - taken)
+                entry[1] -= take
+                taken += take
+                if entry[1] == 0:
+                    sock.rx_chunks.popleft()
+                    entry[0].free()
+            sock.rx_available -= taken
+            if taken > 0 and not self.inline_rx_copy:
+                yield self.region.copy(self.core, taken)
+            event.succeed(taken)

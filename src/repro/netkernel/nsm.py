@@ -1,0 +1,180 @@
+"""Network Stack Modules (NSMs).
+
+An NSM is the provider-managed entity that runs a network stack on behalf
+of tenant VMs.  §5 discusses the form-factor design space; we model all
+three options with their tradeoffs:
+
+=================  ==========  =========  ==============  =============
+Form               per-op cost  memory     boot time       isolation
+=================  ==========  =========  ==============  =============
+VM (prototype)     1.0×         1 GB       ~30 s           strong
+Container          0.6×         256 MB     ~2 s            namespace
+Hypervisor module  0.4×         64 MB      ~0.2 s          none (shared)
+=================  ==========  =========  ==============  =============
+
+The prototype's NSM: a KVM VM with 1 core, 1 GB RAM and one SR-IOV VF of
+the Intel X710 (§4.1), running a ported Linux 4.9 TCP/IP stack.
+"""
+
+from __future__ import annotations
+
+import enum
+from itertools import count
+from typing import List, Optional
+
+from ..host.cpu import Core
+from ..host.machine import PhysicalHost
+from ..net import NIC
+from ..sim import Simulator
+from ..tcp import StackConfig, TcpStack
+from .arbiter import FastpassArbiter
+from .qos import QosPolicy
+
+__all__ = ["NsmForm", "NsmSpec", "NSM"]
+
+_nsm_ids = count(1)
+
+
+class NsmForm(enum.Enum):
+    """NSM realizations and their overhead profiles (§5)."""
+
+    VM = "vm"
+    CONTAINER = "container"
+    HYPERVISOR_MODULE = "module"
+
+    @property
+    def cpu_multiplier(self) -> float:
+        """Per-operation CPU overhead relative to the VM form."""
+        return {"vm": 1.0, "container": 0.6, "module": 0.4}[self.value]
+
+    @property
+    def memory_gb(self) -> float:
+        return {"vm": 1.0, "container": 0.25, "module": 0.0625}[self.value]
+
+    @property
+    def boot_seconds(self) -> float:
+        return {"vm": 30.0, "container": 2.0, "module": 0.2}[self.value]
+
+    @property
+    def isolation(self) -> str:
+        return {"vm": "strong", "container": "namespace", "module": "shared"}[
+            self.value
+        ]
+
+
+class NsmSpec:
+    """What a tenant (or the provider) asks for when requesting an NSM."""
+
+    def __init__(
+        self,
+        congestion_control: str = "cubic",
+        form: NsmForm = NsmForm.VM,
+        cores: int = 1,
+        use_sriov: bool = True,
+        max_tenants: int = 1,
+        stack_config: Optional[StackConfig] = None,
+        tcp_overrides: Optional[dict] = None,
+        rx_chunk_bytes: int = 65536,
+        qos: Optional["QosPolicy"] = None,
+        arbiter: Optional["FastpassArbiter"] = None,
+        servicelib_workers: int = 1,
+    ) -> None:
+        if cores < 1:
+            raise ValueError("an NSM needs at least one core")
+        if max_tenants < 1:
+            raise ValueError("max_tenants must be >= 1")
+        self.congestion_control = congestion_control
+        self.form = form
+        self.cores = cores
+        self.use_sriov = use_sriov
+        self.max_tenants = max_tenants
+        self.stack_config = stack_config
+        self.tcp_overrides = dict(tcp_overrides or {})
+        if rx_chunk_bytes < 512:
+            raise ValueError("rx_chunk_bytes must be >= 512")
+        #: DATA-nqe granularity for received data; the prototype used 8 KB
+        #: huge-page chunks, we default to the TSO aggregate size.
+        self.rx_chunk_bytes = rx_chunk_bytes
+        #: Per-tenant scheduling/rate policy (see repro.netkernel.qos).
+        self.qos = qos
+        #: Fastpass-style centralized arbiter (see repro.netkernel.arbiter):
+        #: when set, every SEND waits for a fabric timeslot grant.
+        self.arbiter = arbiter
+        if servicelib_workers < 1:
+            raise ValueError("servicelib_workers must be >= 1")
+        if servicelib_workers > cores:
+            raise ValueError("servicelib_workers cannot exceed NSM cores")
+        #: Multi-queue ServiceLib (§5 future work): parallel op workers,
+        #: one per core, lifting the short-connection ceiling of a single
+        #: dispatch loop.
+        self.servicelib_workers = servicelib_workers
+
+
+class NSM:
+    """A running network stack module on a physical host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: PhysicalHost,
+        spec: NsmSpec,
+        name: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.spec = spec
+        self.nsm_id = next(_nsm_ids)
+        self.name = name or f"nsm{self.nsm_id}"
+        self.form = spec.form
+
+        self.cores: List[Core] = host.allocate_cores(spec.cores)
+        host.reserve_memory(spec.form.memory_gb)
+
+        if spec.use_sriov and host.sriov:
+            self.nic: NIC = host.create_vf(f"{self.name}.vf")
+        else:
+            self.nic = host.create_vnic(f"{self.name}.vnic")
+
+        config = spec.stack_config or StackConfig(
+            congestion_control=spec.congestion_control,
+            # The NSM stack's per-byte protocol cost; the delivery copy into
+            # huge pages is charged separately by ServiceLib, so the per-core
+            # total matches a native stack's protocol + copy_to_user cost.
+            per_segment_ns=1500.0 * spec.form.cpu_multiplier,
+            per_byte_ns=0.06,
+        )
+        if spec.tcp_overrides:
+            for key, value in spec.tcp_overrides.items():
+                setattr(config.tcp, key, value)
+        self.stack = TcpStack(
+            sim, self.nic, cores=self.cores, config=config, name=f"{self.name}.stack"
+        )
+        self.stack.arbiter = spec.arbiter
+        #: Attached by CoreEngine at setup.
+        self.servicelib = None
+        self.tenant_vm_ids: List[int] = []
+
+    @property
+    def ip(self) -> str:
+        return self.nic.ip
+
+    def can_accept_tenant(self) -> bool:
+        return len(self.tenant_vm_ids) < self.spec.max_tenants
+
+    def cpu_utilization(self, elapsed: Optional[float] = None) -> float:
+        window = elapsed if elapsed is not None else self.sim.now
+        if window <= 0:
+            return 0.0
+        busy = sum(core.busy_seconds for core in self.cores)
+        return min(1.0, busy / (window * len(self.cores)))
+
+    def shutdown(self) -> None:
+        """Release host resources (scale-down path)."""
+        self.host.release_memory(self.spec.form.memory_gb)
+        self.host.switch.detach(self.nic)
+
+    def __repr__(self) -> str:
+        return (
+            f"<NSM {self.name} form={self.form.value} cc={self.spec.congestion_control} "
+            f"cores={len(self.cores)} tenants={len(self.tenant_vm_ids)}>"
+        )

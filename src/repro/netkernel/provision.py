@@ -1,0 +1,172 @@
+"""Provisioning: booting tenant VMs and NSMs on a physical host.
+
+The :class:`Hypervisor` is the provider-side control plane of one host.
+It can boot VMs the legacy way (in-guest stack over a vNIC/VF, Figure
+2(a)) or the NetKernel way (GuestLib + NSM, Figure 2(b)), and boots and
+registers NSMs, including shared (multiplexed) ones.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..api.socket_api import KernelSocketApi
+from ..host.machine import PhysicalHost
+from ..host.vm import VM, GuestOS, NetworkMode
+from ..sim import Simulator
+from ..tcp import StackConfig, TcpStack
+from .coreengine import CoreEngine, CoreEngineConfig
+from .nsm import NSM, NsmSpec
+from .qos import QosPolicy
+from .rdma_nsm import RdmaNsm, TenantRdma
+
+__all__ = ["Hypervisor", "LEGACY_STACK_PER_BYTE_NS", "LEGACY_STACK_PER_SEGMENT_NS"]
+
+#: Legacy guest-kernel stack costs: protocol work plus the copy to
+#: userspace, all on the guest core that owns the connection.  The NSM
+#: path splits the same total between the NSM stack and ServiceLib's
+#: huge-page copy — which is why Figure 4 comes out even.
+LEGACY_STACK_PER_BYTE_NS = 0.12
+LEGACY_STACK_PER_SEGMENT_NS = 1500.0
+
+
+class Hypervisor:
+    """Provider control plane for one physical host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: PhysicalHost,
+        coreengine_config: Optional[CoreEngineConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.coreengine = CoreEngine(
+            sim,
+            host.hypervisor_core,
+            coreengine_config,
+            name=f"{host.name}.ce",
+        )
+        self.vms: List[VM] = []
+        self.nsms: List[NSM] = []
+        self.rdma_nsms: List[RdmaNsm] = []
+
+    # ------------------------------------------------------------------- NSMs --
+    def boot_nsm(self, spec: NsmSpec, name: Optional[str] = None) -> NSM:
+        """Boot a network stack module and register it with CoreEngine."""
+        nsm = NSM(self.sim, self.host, spec, name=name)
+        self.coreengine.attach_nsm(nsm)
+        self.nsms.append(nsm)
+        return nsm
+
+    def boot_rdma_nsm(self, fabric, cores: int = 1, name: Optional[str] = None) -> RdmaNsm:
+        """Boot an RDMA stack module (§2.1's 'customized stack (say RDMA)')."""
+        nsm = RdmaNsm(self.sim, self.host, fabric, cores=cores, name=name)
+        self.rdma_nsms.append(nsm)
+        return nsm
+
+    def attach_rdma(self, vm: VM, nsm: RdmaNsm) -> TenantRdma:
+        """Give a (NetKernel or legacy) VM a Verbs handle served by ``nsm``."""
+        handle = TenantRdma(self.sim, nsm, vm.cores[0])
+        vm.rdma = handle  # type: ignore[attr-defined]
+        return handle
+
+    def find_shared_nsm(self, congestion_control: str) -> Optional[NSM]:
+        """An existing NSM with capacity offering this stack (multiplexing)."""
+        for nsm in self.nsms:
+            if (
+                nsm.spec.congestion_control == congestion_control
+                and nsm.can_accept_tenant()
+            ):
+                return nsm
+        return None
+
+    # ----------------------------------------------------------------- tenants --
+    def boot_legacy_vm(
+        self,
+        name: str,
+        guest_os: GuestOS = GuestOS.LINUX,
+        vcpus: int = 2,
+        memory_gb: float = 4.0,
+        use_sriov: bool = True,
+        congestion_control: Optional[str] = None,
+        stack_config: Optional[StackConfig] = None,
+        tcp_overrides: Optional[dict] = None,
+    ) -> VM:
+        """Figure 2(a): the network stack runs in the guest kernel."""
+        cores = self.host.allocate_cores(vcpus)
+        self.host.reserve_memory(memory_gb)
+        vm = VM(self.sim, name, guest_os, cores, memory_gb, NetworkMode.LEGACY)
+
+        cc = congestion_control or guest_os.default_cc
+        if cc not in guest_os.available_cc:
+            raise ValueError(
+                f"{guest_os.value} guests cannot run {cc!r} natively "
+                f"(have: {sorted(guest_os.available_cc)})"
+            )
+        if use_sriov and self.host.sriov:
+            nic = self.host.create_vf(f"{name}.vf")
+        else:
+            nic = self.host.create_vnic(f"{name}.vnic")
+        config = stack_config or StackConfig(
+            congestion_control=cc,
+            per_segment_ns=LEGACY_STACK_PER_SEGMENT_NS,
+            per_byte_ns=LEGACY_STACK_PER_BYTE_NS,
+        )
+        if tcp_overrides:
+            for key, value in tcp_overrides.items():
+                setattr(config.tcp, key, value)
+        vm.guest_stack = TcpStack(
+            self.sim, nic, cores=cores, config=config, name=f"{name}.stack"
+        )
+        vm.api = KernelSocketApi(
+            self.sim, vm.guest_stack, available_cc=guest_os.available_cc
+        )
+        self.vms.append(vm)
+        return vm
+
+    def boot_netkernel_vm(
+        self,
+        name: str,
+        nsm: NSM,
+        guest_os: GuestOS = GuestOS.LINUX,
+        vcpus: int = 2,
+        memory_gb: float = 4.0,
+        qos_weight: Optional[float] = None,
+        rate_limit_bps: Optional[float] = None,
+    ) -> VM:
+        """Figure 2(b): GuestLib in the guest, the stack in ``nsm``.
+
+        Works for *any* guest OS — that is the point: a Windows VM served
+        by a BBR NSM uses BBR (§4.3).  ``qos_weight`` and
+        ``rate_limit_bps`` register the tenant with the NSM's QoS policy
+        (the NSM must have been booted with one for weights to matter).
+        """
+        cores = self.host.allocate_cores(vcpus)
+        self.host.reserve_memory(memory_gb)
+        vm = VM(self.sim, name, guest_os, cores, memory_gb, NetworkMode.NETKERNEL)
+        attachment = self.coreengine.attach_vm(cores[0], nsm)
+        vm.api = attachment.guestlib
+        vm.vm_id = attachment.vm_id
+        if qos_weight is not None or rate_limit_bps is not None:
+            if nsm.spec.qos is None:
+                nsm.spec.qos = QosPolicy()
+                if nsm.servicelib is not None:
+                    nsm.servicelib.qos = nsm.spec.qos
+            nsm.spec.qos.set_tenant(
+                vm.vm_id,
+                weight=qos_weight if qos_weight is not None else 1.0,
+                rate_limit_bps=rate_limit_bps,
+            )
+            if nsm.servicelib is not None and nsm.servicelib._drr is not None:
+                nsm.servicelib._drr.set_weight(
+                    vm.vm_id, qos_weight if qos_weight is not None else 1.0
+                )
+        self.vms.append(vm)
+        return vm
+
+    def __repr__(self) -> str:
+        return (
+            f"<Hypervisor {self.host.name} vms={len(self.vms)} "
+            f"nsms={len(self.nsms)}>"
+        )

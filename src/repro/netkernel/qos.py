@@ -1,0 +1,190 @@
+"""Per-tenant QoS inside a shared NSM (§5 research agenda).
+
+"The resource allocation and scheduling of the NSMs also needs to be
+strategically managed and optimized when we use a NSM to serve multiple
+VMs concurrently while providing QoS guarantees."
+
+Two mechanisms, both applied by ServiceLib:
+
+* :class:`DrrScheduler` — deficit-round-robin over per-tenant operation
+  queues, so one tenant's op storm cannot monopolize the NSM core.
+* :class:`TokenBucket` — per-tenant egress rate caps: SENDs that exceed
+  the tenant's rate wait for tokens before entering the stack, which
+  backpressures cleanly through the send-completion path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..sim import Event, Simulator
+
+__all__ = ["TokenBucket", "DrrScheduler", "QosPolicy"]
+
+
+class TokenBucket:
+    """A classic token bucket in bytes.
+
+    ``take(nbytes)`` returns an event that fires when ``nbytes`` of tokens
+    are available (waiters are served FIFO, so one large request cannot be
+    starved by a stream of small ones).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        burst_bytes: Optional[int] = None,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.rate_bytes_per_s = rate_bps / 8.0
+        self.burst_bytes = (
+            burst_bytes if burst_bytes is not None else int(self.rate_bytes_per_s / 100)
+        )
+        self.burst_bytes = max(self.burst_bytes, 65536)
+        self._tokens = float(self.burst_bytes)
+        self._updated_at = sim.now
+        self._waiters: Deque[Tuple[int, Event]] = deque()
+        self._refill_armed = False
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        self._tokens += (now - self._updated_at) * self.rate_bytes_per_s
+        # The burst cap applies while idle; with waiters pending, tokens
+        # keep accruing so a request larger than one burst still completes
+        # (at the configured long-run rate).
+        if not self._waiters:
+            self._tokens = min(self._tokens, float(self.burst_bytes))
+        self._updated_at = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def take(self, nbytes: int) -> Event:
+        """Event fires when ``nbytes`` of tokens have been consumed."""
+        if nbytes < 0:
+            raise ValueError("cannot take negative tokens")
+        event = Event(self.sim)
+        self._waiters.append((nbytes, event))
+        self._drain()
+        return event
+
+    def _drain(self) -> None:
+        self._refill()
+        while self._waiters and self._waiters[0][0] <= self._tokens:
+            nbytes, event = self._waiters.popleft()
+            self._tokens -= nbytes
+            event.succeed()
+        if self._waiters and not self._refill_armed:
+            nbytes = self._waiters[0][0]
+            wait = (nbytes - self._tokens) / self.rate_bytes_per_s
+            # Floor the re-check delay: float rounding must not degenerate
+            # into sub-nanosecond self-rescheduling.
+            wait = max(wait, 100e-9)
+            self._refill_armed = True
+            self.sim.schedule_call(wait, self._on_refill)
+
+    def _on_refill(self) -> None:
+        self._refill_armed = False
+        self._drain()
+
+
+class DrrScheduler:
+    """Deficit round robin over per-key work queues.
+
+    Items carry a ``cost`` (we use the op's CPU cost in nanoseconds); each
+    round a queue's deficit grows by ``quantum * weight`` and it may emit
+    items while its deficit covers their cost.
+    """
+
+    def __init__(self, quantum: float = 1000.0) -> None:
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self._queues: Dict[object, Deque[Tuple[float, object]]] = {}
+        self._deficits: Dict[object, float] = {}
+        self._weights: Dict[object, float] = {}
+        self._topped: Dict[object, bool] = {}  # quantum granted this visit
+        self._order: List[object] = []
+        self._cursor = 0
+
+    def set_weight(self, key: object, weight: float) -> None:
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self._weights[key] = weight
+
+    def push(self, key: object, item: object, cost: float = 1.0) -> None:
+        if key not in self._queues:
+            self._queues[key] = deque()
+            self._deficits[key] = 0.0
+            self._topped[key] = False
+            self._order.append(key)
+        self._queues[key].append((cost, item))
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def pop(self) -> Optional[object]:
+        """Next item under DRR order, or None when empty.
+
+        Each queue receives one quantum grant per *visit*; while its
+        deficit covers head-of-line costs it keeps the token, and when it
+        cannot serve, the round moves on (the classic Shreedhar–Varghese
+        shape, expressed pop-by-pop).
+        """
+        if len(self) == 0:
+            return None
+        for _ in range(2 * len(self._order) + 1):
+            key = self._order[self._cursor % len(self._order)]
+            queue = self._queues[key]
+            if not queue:
+                self._deficits[key] = 0.0
+                self._topped[key] = False
+                self._cursor += 1
+                continue
+            if not self._topped[key]:
+                self._deficits[key] += self.quantum * self._weights.get(key, 1.0)
+                self._topped[key] = True
+            cost, item = queue[0]
+            if self._deficits[key] >= cost:
+                self._deficits[key] -= cost
+                queue.popleft()
+                return item
+            # Insufficient deficit: yield the round to the next queue.
+            self._topped[key] = False
+            self._cursor += 1
+        # Degenerate (one item costs many quanta): serve head-of-line so a
+        # giant op cannot wedge the scheduler.
+        for key in self._order:
+            if self._queues[key]:
+                self._deficits[key] = 0.0
+                _cost, item = self._queues[key].popleft()
+                return item
+        return None
+
+
+class QosPolicy:
+    """Per-NSM QoS configuration: scheduling weights and rate caps."""
+
+    def __init__(
+        self,
+        scheduling: str = "fifo",
+        quantum_ns: float = 2000.0,
+    ) -> None:
+        if scheduling not in ("fifo", "drr"):
+            raise ValueError("scheduling must be 'fifo' or 'drr'")
+        self.scheduling = scheduling
+        self.quantum_ns = quantum_ns
+        self.weights: Dict[int, float] = {}  # vm_id -> weight
+        self.rate_limits_bps: Dict[int, float] = {}  # vm_id -> egress cap
+
+    def set_tenant(self, vm_id: int, weight: float = 1.0,
+                   rate_limit_bps: Optional[float] = None) -> None:
+        self.weights[vm_id] = weight
+        if rate_limit_bps is not None:
+            self.rate_limits_bps[vm_id] = rate_limit_bps

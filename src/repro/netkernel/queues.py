@@ -1,0 +1,151 @@
+"""Shared-memory nqe rings between VM, CoreEngine and NSM.
+
+The prototype implements these as IVSHMEM ring buffers (§4.1).  We model a
+ring as a bounded queue with:
+
+* ``push`` — producer side; returns an event that fires once the element is
+  in the ring (immediately unless full — full rings backpressure).
+* ``try_pop`` / ``pop_batch`` — consumer side.
+* ``wait_nonempty`` — the doorbell used by interrupt-driven consumers.
+
+:class:`PriorityNqeRing` implements §3.2's head-of-line-blocking fix: it
+keeps connection events and data events in separate internal queues and
+always serves connection events first, so a connection-setup nqe is never
+stuck behind a burst of bulk-data nqes.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from ..sim import Event, Simulator
+from .nqe import Nqe
+
+__all__ = ["NotifyMode", "NqeRing", "PriorityNqeRing"]
+
+
+class NotifyMode(enum.Enum):
+    """How a consumer learns the ring became non-empty.
+
+    The prototype uses polling "for simplicity" (§4.1); §5 proposes batched
+    soft interrupts to save CPU at some latency cost.  Both are modelled;
+    the notification ablation quantifies the tradeoff.
+    """
+
+    POLLING = "polling"
+    BATCHED_INTERRUPT = "interrupt"
+
+
+class NqeRing:
+    """A bounded FIFO ring of nqes in shared memory."""
+
+    def __init__(self, sim: Simulator, capacity: int = 4096, name: str = "ring") -> None:
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Nqe] = deque()
+        self._putters: Deque[Tuple[Event, Nqe]] = deque()
+        self._doorbells: List[Event] = []
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self) >= self.capacity
+
+    # -- producer -----------------------------------------------------------
+    def push(self, nqe: Nqe) -> Event:
+        """Enqueue; the event fires when the ring has accepted the element."""
+        event = Event(self.sim)
+        if not self.is_full:
+            self._accept(nqe)
+            event.succeed()
+        else:
+            self._putters.append((event, nqe))
+        return event
+
+    def try_push(self, nqe: Nqe) -> bool:
+        """Non-blocking push; False when the ring is full."""
+        if self.is_full:
+            return False
+        self._accept(nqe)
+        return True
+
+    def _accept(self, nqe: Nqe) -> None:
+        self._enqueue(nqe)
+        self.total_pushed += 1
+        self.high_watermark = max(self.high_watermark, len(self))
+        if self._doorbells:
+            doorbells, self._doorbells = self._doorbells, []
+            for doorbell in doorbells:
+                doorbell.succeed()
+
+    def _enqueue(self, nqe: Nqe) -> None:
+        self._items.append(nqe)
+
+    def _dequeue(self) -> Nqe:
+        return self._items.popleft()
+
+    # -- consumer ---------------------------------------------------------------
+    def try_pop(self) -> Optional[Nqe]:
+        if len(self) == 0:
+            return None
+        nqe = self._dequeue()
+        self.total_popped += 1
+        self._admit_waiting_putters()
+        return nqe
+
+    def pop_batch(self, max_items: int = 64) -> List[Nqe]:
+        """Drain up to ``max_items`` (batched-interrupt consumers)."""
+        batch: List[Nqe] = []
+        while len(self) > 0 and len(batch) < max_items:
+            batch.append(self._dequeue())
+            self.total_popped += 1
+        self._admit_waiting_putters()
+        return batch
+
+    def wait_nonempty(self) -> Event:
+        """Doorbell: fires when at least one element is (or becomes) queued."""
+        event = Event(self.sim)
+        if len(self) > 0:
+            event.succeed()
+        else:
+            self._doorbells.append(event)
+        return event
+
+    def _admit_waiting_putters(self) -> None:
+        while self._putters and not self.is_full:
+            event, nqe = self._putters.popleft()
+            self._accept(nqe)
+            event.succeed()
+
+
+class PriorityNqeRing(NqeRing):
+    """Two-class ring: connection events are served before data events."""
+
+    def __init__(self, sim: Simulator, capacity: int = 4096, name: str = "pring") -> None:
+        super().__init__(sim, capacity, name)
+        self._conn_items: Deque[Nqe] = deque()
+        self._data_items: Deque[Nqe] = deque()
+
+    def __len__(self) -> int:
+        return len(self._conn_items) + len(self._data_items)
+
+    def _enqueue(self, nqe: Nqe) -> None:
+        if nqe.is_connection_event:
+            self._conn_items.append(nqe)
+        else:
+            self._data_items.append(nqe)
+
+    def _dequeue(self) -> Nqe:
+        if self._conn_items:
+            return self._conn_items.popleft()
+        return self._data_items.popleft()

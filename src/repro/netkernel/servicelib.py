@@ -1,0 +1,336 @@
+"""ServiceLib: the NSM-side half of NetKernel (§3.2, §4.1).
+
+ServiceLib consumes the NSM job queue, executes each operation against the
+NSM's network stack through its socket backend, and pushes results into
+the NSM completion queue.  When the stack delivers data or accepts a new
+connection, ServiceLib's callbacks (``nk_new_data_callback`` /
+``nk_new_accept_callback`` in the prototype) copy data into the tenant's
+huge pages and push DATA / ACCEPT_EVENT nqes into the NSM receive queue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..api.errors import SocketError
+from ..net import Endpoint
+from ..sim import NANOS, Simulator
+from ..tcp import Listener, TcpConnection
+from ..tcp.cc import base as cc_base
+from .hugepages import HugePageRegion
+from .nqe import Nqe, NqeOp, NqeStatus
+from .nsm import NSM
+from .qos import DrrScheduler, TokenBucket
+from .queues import NotifyMode, NqeRing
+
+__all__ = ["ServiceLib", "SERVICELIB_OP_NS", "RX_CHUNK_BYTES"]
+
+#: CPU cost of ServiceLib handling one nqe (dequeue, dispatch, backend call).
+SERVICELIB_OP_NS = 300.0
+#: Largest single DATA nqe payload (matches the TSO/GRO aggregate size).
+RX_CHUNK_BYTES = 65536
+#: Interrupt coalescing window and per-interrupt cost (batched mode).
+INTERRUPT_DELAY = 10e-6
+INTERRUPT_COST_NS = 2000.0
+
+
+class _Backend:
+    """ServiceLib's per-cID socket state."""
+
+    __slots__ = ("cid", "region", "cc_name", "bound_port", "conn", "listener")
+
+    def __init__(self, cid: int, region: HugePageRegion) -> None:
+        self.cid = cid
+        self.region = region
+        self.cc_name: Optional[str] = None
+        self.bound_port: Optional[int] = None
+        self.conn: Optional[TcpConnection] = None
+        self.listener: Optional[Listener] = None
+
+
+class ServiceLib:
+    """The per-NSM service library driving the NSM's network stack."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nsm: NSM,
+        job_queue: NqeRing,
+        completion_queue: NqeRing,
+        receive_queue: NqeRing,
+        allocate_cid: Callable[[], int],
+        notify_mode: NotifyMode = NotifyMode.POLLING,
+    ) -> None:
+        self.sim = sim
+        self.nsm = nsm
+        self.job_queue = job_queue
+        self.completion_queue = completion_queue
+        self.receive_queue = receive_queue
+        self.allocate_cid = allocate_cid
+        self.notify_mode = notify_mode
+        self.workers = getattr(nsm.spec, "servicelib_workers", 1)
+        self.core = nsm.cores[0]
+        self.op_cost = SERVICELIB_OP_NS * nsm.form.cpu_multiplier * NANOS
+        self.rx_chunk = getattr(nsm.spec, "rx_chunk_bytes", RX_CHUNK_BYTES)
+        self._backends: Dict[int, _Backend] = {}
+        self.ops_handled = 0
+        # --- per-tenant QoS (§5): DRR op scheduling + egress rate caps ---
+        self.qos = nsm.spec.qos
+        self._drr: Optional[DrrScheduler] = None
+        if self.qos is not None and self.qos.scheduling == "drr":
+            self._drr = DrrScheduler(quantum=self.qos.quantum_ns)
+            for vm_id, weight in self.qos.weights.items():
+                self._drr.set_weight(vm_id, weight)
+        self._buckets: Dict[int, TokenBucket] = {}
+        nsm.servicelib = self
+        if self.workers == 1:
+            if notify_mode is NotifyMode.POLLING:
+                self.core.busy_poll = True
+            sim.process(self._job_loop(self.core), name=f"{nsm.name}.servicelib")
+        else:
+            # Multi-queue mode (§5 future work): ops are sharded by cID so
+            # each connection is always served by the same worker (RSS-style),
+            # preserving per-connection op order while parallelizing across
+            # cores.
+            from ..sim import Store
+
+            self._shards = [Store(sim) for _ in range(self.workers)]
+            sim.process(self._classifier_loop(), name=f"{nsm.name}.sl-classify")
+            for index in range(self.workers):
+                worker_core = nsm.cores[index % len(nsm.cores)]
+                if notify_mode is NotifyMode.POLLING:
+                    worker_core.busy_poll = True
+                sim.process(
+                    self._shard_loop(index, worker_core),
+                    name=f"{nsm.name}.servicelib[{index}]",
+                )
+
+    # ------------------------------------------------------------ job loop --
+    def _classifier_loop(self):
+        """Move nqes from the shared ring into per-worker shards by cID."""
+        while True:
+            yield self.job_queue.wait_nonempty()
+            for nqe in self.job_queue.pop_batch():
+                shard = (nqe.cid or 0) % self.workers
+                self._shards[shard].try_put(nqe)
+
+    def _shard_loop(self, index, core):
+        store = self._shards[index]
+        while True:
+            nqe = yield store.get()
+            yield core.execute(self.op_cost)
+            self.ops_handled += 1
+            self._dispatch(nqe)
+
+    def _job_loop(self, core):
+        while True:
+            if self._drr is None or len(self._drr) == 0:
+                yield self.job_queue.wait_nonempty()
+                if self.notify_mode is NotifyMode.BATCHED_INTERRUPT:
+                    yield self.sim.timeout(INTERRUPT_DELAY)
+                    yield core.execute(
+                        INTERRUPT_COST_NS * self.nsm.form.cpu_multiplier * NANOS
+                    )
+            if self._drr is None:
+                for nqe in self.job_queue.pop_batch():
+                    yield core.execute(self.op_cost)
+                    self.ops_handled += 1
+                    self._dispatch(nqe)
+                continue
+            # DRR mode: classify fresh arrivals by tenant, then serve one
+            # op per iteration in deficit-round-robin order so a single
+            # tenant's op storm cannot monopolize the NSM core.
+            for nqe in self.job_queue.pop_batch():
+                self._drr.push(nqe.vm_id, nqe, cost=self.op_cost / NANOS)
+            nqe = self._drr.pop()
+            if nqe is not None:
+                yield core.execute(self.op_cost)
+                self.ops_handled += 1
+                self._dispatch(nqe)
+
+    def _dispatch(self, nqe: Nqe) -> None:
+        handler = {
+            NqeOp.SOCKET: self._op_socket,
+            NqeOp.BIND: self._op_bind,
+            NqeOp.LISTEN: self._op_listen,
+            NqeOp.CONNECT: self._op_connect,
+            NqeOp.SEND: self._op_send,
+            NqeOp.CLOSE: self._op_close,
+            NqeOp.SETSOCKOPT: self._op_setsockopt,
+        }.get(nqe.op)
+        if handler is None:
+            self._complete_error(nqe, SocketError(f"bad op {nqe.op}"))
+            return
+        try:
+            handler(nqe)
+        except SocketError as exc:
+            self._complete_error(nqe, exc)
+
+    def _complete_ok(self, nqe: Nqe, result=None) -> None:
+        self.completion_queue.push(nqe.completion(NqeStatus.OK, result))
+
+    def _complete_error(self, nqe: Nqe, exc: Exception) -> None:
+        self.completion_queue.push(nqe.completion(NqeStatus.ERROR, exc))
+
+    def _backend(self, nqe: Nqe) -> _Backend:
+        backend = self._backends.get(nqe.cid)
+        if backend is None:
+            raise SocketError(f"no backend socket for cid {nqe.cid}")
+        return backend
+
+    # ------------------------------------------------------------- operations --
+    def _op_socket(self, nqe: Nqe) -> None:
+        # args carries the tenant's huge-page region (mapped at VM boot).
+        region: HugePageRegion = nqe.args
+        self._backends[nqe.cid] = _Backend(nqe.cid, region)
+        # No completion: CoreEngine already answered the guest with an fd.
+
+    def _op_bind(self, nqe: Nqe) -> None:
+        backend = self._backend(nqe)
+        backend.bound_port = int(nqe.args)
+        self._complete_ok(nqe)
+
+    def _op_listen(self, nqe: Nqe) -> None:
+        backend = self._backend(nqe)
+        if backend.bound_port is None:
+            raise SocketError(f"cid {nqe.cid}: listen() before bind()")
+        try:
+            backend.listener = self.nsm.stack.listen(
+                backend.bound_port,
+                backlog=int(nqe.args or 128),
+                congestion_control=backend.cc_name,
+            )
+        except RuntimeError as exc:
+            raise SocketError(str(exc)) from None
+        backend.listener.on_new_connection = (
+            lambda conn, b=backend: self._on_accept(b, conn)
+        )
+        self._complete_ok(nqe)
+
+    def _op_connect(self, nqe: Nqe) -> None:
+        backend = self._backend(nqe)
+        remote: Endpoint = nqe.args
+        conn = self.nsm.stack.connect(
+            remote,
+            congestion_control=backend.cc_name,
+            local_port=backend.bound_port,
+        )
+        backend.conn = conn
+
+        def finish(ev):
+            if ev.ok:
+                self._start_rx(backend)
+                self._complete_ok(nqe)
+            else:
+                self._complete_error(nqe, ev.value)
+
+        conn.established.add_callback(finish)
+
+    def _op_send(self, nqe: Nqe) -> None:
+        backend = self._backend(nqe)
+        if backend.conn is None:
+            raise SocketError(f"cid {nqe.cid} not connected")
+        chunk = nqe.data_desc
+        nbytes = chunk.size
+
+        def submit(_ev=None):
+            accepted = backend.conn.send(nbytes)
+            accepted.add_callback(finish)
+
+        def finish(_ev):
+            # The stack has buffered the data; huge-page chunk is reusable.
+            chunk.free()
+            self._complete_ok(nqe, nbytes)
+
+        bucket = self._rate_bucket(nqe.vm_id)
+        if bucket is None:
+            submit()
+        else:
+            # Egress QoS: wait for rate tokens before entering the stack;
+            # the delayed completion backpressures GuestLib naturally.
+            bucket.take(nbytes).add_callback(submit)
+
+    def _rate_bucket(self, vm_id: Optional[int]) -> Optional[TokenBucket]:
+        if self.qos is None or vm_id is None:
+            return None
+        rate = self.qos.rate_limits_bps.get(vm_id)
+        if rate is None:
+            return None
+        bucket = self._buckets.get(vm_id)
+        if bucket is None:
+            bucket = TokenBucket(self.sim, rate)
+            self._buckets[vm_id] = bucket
+        return bucket
+
+    def _op_close(self, nqe: Nqe) -> None:
+        """close(2) semantics: acknowledge as soon as teardown is initiated.
+
+        The connection drains its send buffer, exchanges FINs and serves
+        TIME_WAIT in the background; the tenant's fd is gone immediately.
+        """
+        backend = self._backends.pop(nqe.cid, None)
+        if backend is None:
+            self._complete_ok(nqe)
+            return
+        if backend.listener is not None:
+            backend.listener.close()
+        elif backend.conn is not None:
+            backend.conn.close()
+        self._complete_ok(nqe)
+
+    def _op_setsockopt(self, nqe: Nqe) -> None:
+        backend = self._backend(nqe)
+        option, value = nqe.args
+        if option != "congestion_control":
+            raise SocketError(f"unknown option {option!r}")
+        if value not in cc_base.available():
+            raise SocketError(f"provider does not offer CC {value!r}")
+        backend.cc_name = value
+        self._complete_ok(nqe)
+
+    # ------------------------------------------------- stack-driven callbacks --
+    def _on_accept(self, listen_backend: _Backend, conn: TcpConnection) -> None:
+        """nk_new_accept_callback: a child connection finished its handshake."""
+        cid = self.allocate_cid()
+        child = _Backend(cid, listen_backend.region)
+        child.conn = conn
+        self._backends[cid] = child
+        self._start_rx(child)
+        self.receive_queue.push(
+            Nqe(
+                op=NqeOp.ACCEPT_EVENT,
+                nsm_id=self.nsm.nsm_id,
+                cid=listen_backend.cid,
+                result=cid,  # the new connection's cID
+            )
+        )
+
+    def _start_rx(self, backend: _Backend) -> None:
+        self.sim.process(
+            self._rx_loop(backend), name=f"{self.nsm.name}.rx.cid{backend.cid}"
+        )
+
+    def _rx_loop(self, backend: _Backend):
+        """nk_new_data_callback: move received bytes into huge pages."""
+        conn = backend.conn
+        assert conn is not None
+        while True:
+            yield conn.recv_buffer.wait_readable()
+            taken = conn.recv_buffer.try_read(self.rx_chunk)
+            if taken is None:
+                continue
+            if taken == 0:  # EOF: stream fully delivered
+                self.receive_queue.push(
+                    Nqe(op=NqeOp.EOF, nsm_id=self.nsm.nsm_id, cid=backend.cid)
+                )
+                return
+            chunk = yield backend.region.alloc(taken)
+            yield backend.region.copy(self.core, taken)
+            yield self.receive_queue.push(
+                Nqe(
+                    op=NqeOp.DATA,
+                    nsm_id=self.nsm.nsm_id,
+                    cid=backend.cid,
+                    data_desc=chunk,
+                )
+            )

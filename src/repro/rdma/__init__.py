@@ -1,0 +1,28 @@
+"""RDMA substrate: an RC transport plus a Verbs-style API.
+
+The paper keeps "Verbs for RDMA" as the second guest-facing interface and
+names "a customized stack (say RDMA)" as something tenants can request
+from the provider (§1, §2.1).  :class:`RdmaNsm` support lives in
+:mod:`repro.netkernel`; this package is the stack itself.
+"""
+
+from .transport import RDMA_MTU_PAYLOAD, RcEndpoint, RdmaFabric, RdmaMessage
+from .verbs import (
+    CompletionQueue,
+    QueuePair,
+    RdmaDevice,
+    WcOpcode,
+    WorkCompletion,
+)
+
+__all__ = [
+    "RdmaFabric",
+    "RcEndpoint",
+    "RdmaMessage",
+    "RDMA_MTU_PAYLOAD",
+    "RdmaDevice",
+    "QueuePair",
+    "CompletionQueue",
+    "WorkCompletion",
+    "WcOpcode",
+]

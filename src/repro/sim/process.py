@@ -1,0 +1,137 @@
+"""Generator-based simulation processes.
+
+A process wraps a Python generator.  The generator *yields events* to
+suspend; when the event fires the process resumes with the event's value
+(or the event's exception raised at the yield point).  A process is itself
+an :class:`~repro.sim.events.Event` that fires when the generator returns,
+so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .events import Event, Interrupt, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Simulator
+
+__all__ = ["Process"]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    The wrapped generator may ``yield`` any :class:`Event`; it resumes when
+    that event fires.  The generator's ``return`` value becomes the
+    process-event's value.
+    """
+
+    __slots__ = ("generator", "name", "_target", "_alive")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"process body must be a generator, got {type(generator).__name__}"
+            )
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        self._alive = True
+        # Bootstrap: resume once at the current time.
+        boot = Event(sim)
+        boot.add_callback(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._alive
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its yield point.
+
+        The event the process was waiting on is abandoned (its eventual
+        firing is ignored by this process).
+        """
+        if not self._alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        target, self._target = self._target, None
+        interrupt_event = Event(self.sim)
+        interrupt_event.add_callback(lambda _ev: self._throw(Interrupt(cause)))
+        interrupt_event.succeed()
+        # Detach from the old target so a later fire does not double-resume.
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+
+    # -- kernel internals ----------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if not self._alive:
+            return
+        self._target = None
+        self.sim._active_process = self
+        try:
+            if event.ok:
+                nxt = self.generator.send(event.value)
+            else:
+                nxt = self.generator.throw(event.value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:
+            self._die(exc)
+            return
+        finally:
+            self.sim._active_process = None
+        self._wait_on(nxt)
+
+    def _throw(self, exc: BaseException) -> None:
+        if not self._alive:
+            return
+        self.sim._active_process = self
+        try:
+            nxt = self.generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as err:
+            self._die(err)
+            return
+        finally:
+            self.sim._active_process = None
+        self._wait_on(nxt)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self._die(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}, expected an Event"
+                )
+            )
+            return
+        if target.sim is not self.sim:
+            self._die(SimulationError("yielded event belongs to another simulator"))
+            return
+        self._target = target
+        target.add_callback(self._resume)
+
+    def _finish(self, value: Any) -> None:
+        self._alive = False
+        self.succeed(value)
+
+    def _die(self, exc: BaseException) -> None:
+        self._alive = False
+        if self.callbacks is not None and not self.callbacks and not self._triggered:
+            # Nobody is waiting on this process: surface the crash loudly
+            # instead of swallowing it.
+            raise exc
+        self.fail(exc)

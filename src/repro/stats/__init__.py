@@ -1,0 +1,12 @@
+"""Measurement: throughput meters, latency percentiles, time series."""
+
+from .metrics import LatencyRecorder, ThroughputMeter, percentile
+from .series import PeriodicSampler, TimeSeries
+
+__all__ = [
+    "ThroughputMeter",
+    "LatencyRecorder",
+    "percentile",
+    "TimeSeries",
+    "PeriodicSampler",
+]

@@ -1,0 +1,62 @@
+"""Time-series sampling for utilization / backlog plots."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from ..sim import Simulator
+
+__all__ = ["TimeSeries", "PeriodicSampler"]
+
+
+class TimeSeries:
+    """A list of (time, value) points with simple reductions."""
+
+    def __init__(self, name: str = "series") -> None:
+        self.name = name
+        self.points: List[Tuple[float, float]] = []
+
+    def add(self, t: float, value: float) -> None:
+        if self.points and t < self.points[-1][0]:
+            raise ValueError("time series must be appended in time order")
+        self.points.append((t, value))
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def values(self) -> List[float]:
+        return [v for _t, v in self.points]
+
+    def mean(self) -> float:
+        if not self.points:
+            return 0.0
+        return sum(self.values()) / len(self.points)
+
+    def max(self) -> float:
+        return max(self.values()) if self.points else 0.0
+
+    def last(self) -> float:
+        return self.points[-1][1] if self.points else 0.0
+
+
+class PeriodicSampler:
+    """Runs ``probe()`` every ``interval`` and appends to a series."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        probe: Callable[[], float],
+        interval: float = 0.1,
+        name: str = "sampler",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.series = TimeSeries(name)
+        self._probe = probe
+        self._interval = interval
+        sim.process(self._loop(sim), name=name)
+
+    def _loop(self, sim: Simulator):
+        while True:
+            yield sim.timeout(self._interval)
+            self.series.add(sim.now, float(self._probe()))

@@ -1,0 +1,209 @@
+"""Send/receive buffering over a *virtual* byte stream.
+
+No payload bytes are stored; buffers track counts and sequence intervals.
+The invariants (never deliver a byte twice, never deliver out of order,
+never exceed capacity) are what the tests and the protocol rely on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim import Event, Simulator
+from .intervals import IntervalSet
+
+__all__ = ["SendBuffer", "ReassemblyQueue", "ReceiveBuffer"]
+
+
+class SendBuffer:
+    """Backpressured staging area between the application and the sender.
+
+    The application "writes" byte counts; writes block (the returned event
+    stays pending) while the unacknowledged backlog exceeds capacity.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 4 * 1024 * 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("send buffer capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.written = 0  # total bytes accepted from the app
+        self.acked = 0  # total bytes cumulatively acknowledged
+        self.fin_requested = False
+        self._waiters: List[Tuple[int, Event]] = []
+
+    @property
+    def backlog(self) -> int:
+        """Bytes accepted but not yet acknowledged."""
+        return self.written - self.acked
+
+    @property
+    def free_space(self) -> int:
+        return max(0, self.capacity - self.backlog)
+
+    def write(self, nbytes: int) -> Event:
+        """Accept ``nbytes`` from the app; event fires when buffered."""
+        if nbytes < 0:
+            raise ValueError("cannot write a negative byte count")
+        if self.fin_requested:
+            raise RuntimeError("write after close()")
+        event = Event(self.sim)
+        if nbytes <= self.free_space:
+            self.written += nbytes
+            event.succeed(nbytes)
+        else:
+            self._waiters.append((nbytes, event))
+        return event
+
+    def on_ack(self, new_acked: int) -> None:
+        """Advance the acknowledged watermark and admit blocked writes."""
+        if new_acked < 0:
+            raise ValueError("negative ack amount")
+        self.acked += new_acked
+        while self._waiters and self._waiters[0][0] <= self.free_space:
+            nbytes, event = self._waiters.pop(0)
+            self.written += nbytes
+            event.succeed(nbytes)
+
+    def close(self) -> None:
+        self.fin_requested = True
+
+
+class ReassemblyQueue:
+    """Tracks out-of-order received sequence ranges past ``rcv_nxt``.
+
+    ``add`` returns how many new in-order bytes became available (i.e. how
+    far ``rcv_nxt`` advanced).  The out-of-order intervals double as the
+    SACK blocks advertised back to the sender.
+    """
+
+    def __init__(self, rcv_nxt: int = 0) -> None:
+        self.rcv_nxt = rcv_nxt
+        self._ooo = IntervalSet()
+        self._last_touched: Optional[int] = None  # start of freshest interval
+        self._rotate = 0
+
+    @property
+    def out_of_order_bytes(self) -> int:
+        return self._ooo.total()
+
+    def add(self, seq: int, length: int) -> int:
+        """Register received range ``[seq, seq+length)``; return new bytes."""
+        if length < 0:
+            raise ValueError("negative segment length")
+        end = seq + length
+        if end <= self.rcv_nxt:
+            return 0  # entirely duplicate
+        seq = max(seq, self.rcv_nxt)
+        self._ooo.add(seq, end)
+        self._last_touched = seq
+        return self._advance()
+
+    def sack_blocks(self, limit: int = 3) -> Tuple[Tuple[int, int], ...]:
+        """Out-of-order ranges to advertise.
+
+        Per RFC 2018 the block containing the most recently received
+        segment goes first; the remaining slots rotate through the other
+        ranges so that a sender accumulating blocks across ACKs eventually
+        learns the whole scoreboard.
+        """
+        intervals = self._ooo.intervals()
+        if len(intervals) <= limit:
+            return tuple(intervals)
+        blocks: list[Tuple[int, int]] = []
+        fresh = None
+        if self._last_touched is not None:
+            for s, e in intervals:
+                if s <= self._last_touched < e:
+                    fresh = (s, e)
+                    break
+        if fresh is not None:
+            blocks.append(fresh)
+        others = [iv for iv in intervals if iv != fresh]
+        for i in range(limit - len(blocks)):
+            blocks.append(others[(self._rotate + i) % len(others)])
+        self._rotate = (self._rotate + limit - 1) % max(1, len(others))
+        return tuple(blocks)
+
+    def _advance(self) -> int:
+        advanced = 0
+        intervals = self._ooo.intervals()
+        while intervals and intervals[0][0] <= self.rcv_nxt:
+            start, end = intervals.pop(0)
+            if end > self.rcv_nxt:
+                advanced += end - self.rcv_nxt
+                self.rcv_nxt = end
+        if advanced:
+            self._ooo.trim_below(self.rcv_nxt)
+        return advanced
+
+
+class ReceiveBuffer:
+    """In-order bytes awaiting the application, bounding the offered window."""
+
+    def __init__(self, sim: Simulator, capacity: int = 4 * 1024 * 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("receive buffer capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.available = 0  # in-order bytes not yet read by the app
+        self.eof = False
+        self._readers: List[Tuple[int, Event]] = []  # (max_bytes, event)
+        self._watchers: List[Event] = []  # readiness (epoll) waiters
+
+    def window(self, out_of_order_bytes: int = 0) -> int:
+        """Receive window to advertise."""
+        return max(0, self.capacity - self.available - out_of_order_bytes)
+
+    def deliver(self, nbytes: int) -> None:
+        """Hand newly in-order bytes to the buffer; wakes pending readers."""
+        if nbytes < 0:
+            raise ValueError("negative delivery")
+        self.available += nbytes
+        self._wake()
+
+    def deliver_eof(self) -> None:
+        self.eof = True
+        self._wake()
+
+    def read(self, max_bytes: int) -> Event:
+        """Event fires with the byte count read (0 means EOF)."""
+        if max_bytes <= 0:
+            raise ValueError("read size must be positive")
+        event = Event(self.sim)
+        self._readers.append((max_bytes, event))
+        self._wake()
+        return event
+
+    def try_read(self, max_bytes: int) -> Optional[int]:
+        """Non-blocking read; None if nothing is available and not EOF."""
+        if self.available > 0:
+            taken = min(max_bytes, self.available)
+            self.available -= taken
+            return taken
+        if self.eof:
+            return 0
+        return None
+
+    def wait_readable(self) -> Event:
+        """Event fires when data (or EOF) is available, without consuming.
+
+        This is the readiness primitive behind epoll's EPOLLIN.
+        """
+        event = Event(self.sim)
+        if self.available > 0 or self.eof:
+            event.succeed()
+        else:
+            self._watchers.append(event)
+        return event
+
+    def _wake(self) -> None:
+        if self._watchers and (self.available > 0 or self.eof):
+            watchers, self._watchers = self._watchers, []
+            for watcher in watchers:
+                watcher.succeed()
+        while self._readers and (self.available > 0 or self.eof):
+            max_bytes, event = self._readers.pop(0)
+            taken = min(max_bytes, self.available)
+            self.available -= taken
+            event.succeed(taken)

@@ -1,0 +1,28 @@
+"""Pluggable congestion-control algorithms.
+
+Importing this package registers every algorithm in the by-name registry:
+``reno``, ``cubic``, ``bbr``, ``ctcp``, ``dctcp``, ``vegas``.
+"""
+
+from .base import CongestionControl, RateSample, available, factory, make, register
+from .bbr import Bbr
+from .ctcp import CompoundTcp
+from .cubic import Cubic
+from .dctcp import Dctcp
+from .reno import Reno
+from .vegas import Vegas
+
+__all__ = [
+    "CongestionControl",
+    "RateSample",
+    "available",
+    "factory",
+    "make",
+    "register",
+    "Reno",
+    "Cubic",
+    "Bbr",
+    "CompoundTcp",
+    "Dctcp",
+    "Vegas",
+]

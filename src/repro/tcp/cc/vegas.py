@@ -1,0 +1,68 @@
+"""TCP Vegas (Brakmo & Peterson, 1995) — the classic delay-based scheme.
+
+Included as an additional NSM choice: it illustrates the breadth of stacks
+a provider can offer, and serves as a contrast case in tests (delay-based
+algorithms keep queues short but lose to loss-based ones when competing).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import CongestionControl, RateSample, register
+
+__all__ = ["Vegas"]
+
+
+@register
+class Vegas(CongestionControl):
+    """Vegas: hold between ``alpha`` and ``beta`` packets queued in the path."""
+
+    name = "vegas"
+
+    ALPHA = 2  # segments of backlog: grow below this
+    BETA = 4  # segments of backlog: shrink above this
+
+    def __init__(self, mss: int = 1448, initial_window_segments: int = 10) -> None:
+        super().__init__(mss, initial_window_segments)
+        self.base_rtt: Optional[float] = None
+        self._acc = 0
+
+    def on_ack(self, sample: RateSample) -> None:
+        if self.in_recovery:
+            return
+        rtt = sample.rtt
+        if rtt is None or rtt <= 0:
+            return
+        if self.base_rtt is None or rtt < self.base_rtt:
+            self.base_rtt = rtt
+
+        if self.cwnd < self.ssthresh:
+            # Vegas slow start: double every *other* RTT; approximate with
+            # half-rate byte counting.
+            self.cwnd += sample.newly_acked // 2
+            if self.cwnd > self.ssthresh:
+                self.cwnd = self.ssthresh
+
+        # Once per window: compare expected vs actual rate.
+        self._acc += sample.newly_acked
+        if self._acc < self.cwnd:
+            return
+        self._acc = 0
+        expected = self.cwnd / self.base_rtt
+        actual = self.cwnd / rtt
+        diff_segments = (expected - actual) * self.base_rtt / self.mss
+        if diff_segments < self.ALPHA:
+            self.cwnd += self.mss
+        elif diff_segments > self.BETA:
+            self.cwnd = max(2 * self.mss, self.cwnd - self.mss)
+
+    def on_loss_event(self, now: float, in_flight: int) -> None:
+        self.ssthresh = max(2 * self.mss, in_flight / 2)
+        self.cwnd = self.ssthresh
+        self.in_recovery = True
+
+    def on_rto(self, now: float) -> None:
+        super().on_rto(now)
+        self._acc = 0
+        self.in_recovery = False

@@ -1,0 +1,923 @@
+"""The TCP connection state machine.
+
+Implements connection establishment, ordered reliable delivery over virtual
+byte streams, cumulative ACKs with fast retransmit / NewReno-style recovery,
+RTO with Karn backoff and go-back-N resend, RFC 7323 timestamps for RTT,
+delayed ACKs, flow control with window updates, classic-ECN and
+accurate-ECN (DCTCP) echo, pacing, and per-packet delivery-rate samples for
+model-based congestion control (BBR).
+
+Sequence numbers are absolute Python integers (no 32-bit wraparound): the
+simulation never runs long enough for wrap to matter and the invariants are
+much easier to audit.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..net import Endpoint
+from ..sim import Event, Simulator
+from .buffers import ReassemblyQueue, ReceiveBuffer, SendBuffer
+from .cc.base import CongestionControl, RateSample
+from .intervals import IntervalSet
+from .rtt import RttEstimator
+from .segment import TcpSegment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .stack import TcpStack
+
+__all__ = ["TcpState", "TcpConfig", "TcpConnection", "ConnectionReset"]
+
+
+class ConnectionReset(Exception):
+    """Raised to readers/writers when the peer resets the connection."""
+
+
+class TcpState(enum.Enum):
+    CLOSED = "closed"
+    LISTEN = "listen"
+    SYN_SENT = "syn-sent"
+    SYN_RCVD = "syn-rcvd"
+    ESTABLISHED = "established"
+    FIN_WAIT_1 = "fin-wait-1"
+    FIN_WAIT_2 = "fin-wait-2"
+    CLOSE_WAIT = "close-wait"
+    CLOSING = "closing"
+    LAST_ACK = "last-ack"
+    TIME_WAIT = "time-wait"
+
+
+@dataclass
+class TcpConfig:
+    """Per-connection tunables (the stack supplies defaults)."""
+
+    #: Wire-level MSS (used by congestion control and loss recovery).
+    mss: int = 1448
+    #: Effective segmentation size for sends (64 KB with TSO).
+    effective_mss: int = 1448
+    sndbuf: int = 4 * 1024 * 1024
+    rcvbuf: int = 4 * 1024 * 1024
+    delayed_ack: bool = True
+    delack_timeout: float = 0.040
+    delack_segments: int = 2
+    min_rto: float = 0.2
+    ecn: bool = False
+    #: Nagle's algorithm (RFC 896): hold sub-MSS writes while data is in
+    #: flight.  Off by default, as most latency-conscious services set
+    #: TCP_NODELAY; the RPC workloads exercise both settings.
+    nagle: bool = False
+    msl: float = 0.05  # short TIME_WAIT, keeps port churn tractable
+    syn_retries: int = 6
+
+
+@dataclass
+class _TxRecord:
+    """Sender-side state for one transmitted segment (BBR rate sampling)."""
+
+    end_seq: int
+    sent_time: float
+    #: Send time of the first packet of the flight this segment extends
+    #: (bounds the delivery-rate sample on the send side, as in tcp_rate.c).
+    first_tx_time: float
+    delivered_at_send: int
+    delivered_time_at_send: float
+    is_app_limited: bool
+    retransmitted: bool = False
+    payload_len: int = 0
+
+
+@dataclass
+class ConnStats:
+    """Per-connection counters surfaced to experiments and tests."""
+
+    bytes_sent: int = 0
+    bytes_acked: int = 0
+    bytes_received: int = 0
+    segments_sent: int = 0
+    segments_received: int = 0
+    retransmits: int = 0
+    fast_retransmits: int = 0
+    timeouts: int = 0
+    dup_acks: int = 0
+    ecn_echoes: int = 0
+
+
+class TcpConnection:
+    """One endpoint of a TCP connection."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        stack: "TcpStack",
+        local: Endpoint,
+        remote: Endpoint,
+        cc: CongestionControl,
+        config: Optional[TcpConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.stack = stack
+        self.local = local
+        self.remote = remote
+        self.cc = cc
+        self.config = config or TcpConfig()
+        self.state = TcpState.CLOSED
+
+        # --- sender state ---
+        self.iss = 0
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.snd_wnd = 65535
+        self.send_buffer = SendBuffer(sim, self.config.sndbuf)
+        self.fin_sent = False
+        self.fin_seq: Optional[int] = None
+
+        # --- receiver state ---
+        self.irs: Optional[int] = None
+        self.assembly = ReassemblyQueue()
+        self.recv_buffer = ReceiveBuffer(sim, self.config.rcvbuf)
+        self.fin_received_seq: Optional[int] = None
+        self._ts_recent: Optional[float] = None
+        self._last_advertised_wnd = self.config.rcvbuf
+
+        # --- RTT / timers ---
+        self.rtt = RttEstimator(min_rto=self.config.min_rto)
+        self._rto_gen = 0
+        self._rto_armed = False
+        self._persist_gen = 0
+        self._syn_retries_left = self.config.syn_retries
+
+        # --- delayed ack ---
+        self._delack_pending = 0
+        self._delack_bytes = 0
+        self._delack_gen = 0
+
+        # --- loss recovery (SACK scoreboard, RFC 2018/6675-style) ---
+        self._dupacks = 0
+        self._recover = 0
+        self._in_fast_recovery = False
+        self._sacked = IntervalSet()  # peer-held ranges above snd_una
+        self._rexmitted = IntervalSet()  # holes already retransmitted
+        self._rto_high = 0  # everything below this is presumed lost after RTO
+        self._last_repair_time = 0.0  # RACK-style lost-retransmission timer
+        self._rack_armed = False
+
+        # --- ECN ---
+        self._ecn_echo_latched = False
+        self._send_cwr = False
+        self._ecn_reduction_seq = 0
+
+        # --- delivery-rate sampling (BBR) ---
+        self.delivered = 0
+        self.delivered_time = 0.0
+        self._tx_records: Dict[int, _TxRecord] = {}
+        self._tx_order: deque[int] = deque()  # end_seqs in send order
+        self._first_tx_time = 0.0
+        self._app_limited_until = 0
+
+        # --- pacing ---
+        self._next_send_time = 0.0
+        self._pacing_timer_armed = False
+
+        # --- app-visible events ---
+        self.established = Event(sim)
+        self.closed = Event(sim)
+        #: Optional hooks used by ServiceLib (nk_*_callback analogues).
+        self.on_data_available = None
+        self.on_established_cb = None
+
+        self.stats = ConnStats()
+
+    # ------------------------------------------------------------------ API --
+    @property
+    def data_seq_base(self) -> int:
+        """Sequence number of stream byte 0 (SYN occupies ``iss``)."""
+        return self.iss + 1
+
+    @property
+    def bytes_in_flight(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    def open_active(self) -> None:
+        """Client side: send SYN, move to SYN_SENT."""
+        if self.state is not TcpState.CLOSED:
+            raise RuntimeError(f"open_active in state {self.state}")
+        self.state = TcpState.SYN_SENT
+        self._send_syn()
+
+    def open_passive_from_syn(self, seg: TcpSegment) -> None:
+        """Server side: a listener spawned us for this SYN."""
+        self.state = TcpState.SYN_RCVD
+        self._accept_syn(seg)
+        self._transmit(self._make_segment(self.iss, syn=True, ack=True), syn=True)
+        self.snd_nxt = self.iss + 1
+        self._arm_rto()
+
+    def send(self, nbytes: int) -> Event:
+        """Queue ``nbytes`` of app data; event fires when buffered."""
+        if self.state in (
+            TcpState.FIN_WAIT_1,
+            TcpState.FIN_WAIT_2,
+            TcpState.CLOSING,
+            TcpState.LAST_ACK,
+            TcpState.TIME_WAIT,
+        ):
+            raise RuntimeError("send() after close()")
+        accepted = self.send_buffer.write(nbytes)
+        accepted.add_callback(lambda _ev: self._pump())
+        return accepted
+
+    def recv(self, max_bytes: int) -> Event:
+        """Read up to ``max_bytes``; fires with count (0 = EOF)."""
+        event = self.recv_buffer.read(max_bytes)
+        event.add_callback(lambda _ev: self._after_app_read())
+        return event
+
+    def close(self) -> Event:
+        """Half-close: FIN after all queued data; event fires fully closed."""
+        self.send_buffer.close()
+        if self.state is TcpState.ESTABLISHED:
+            self.state = TcpState.FIN_WAIT_1
+        elif self.state is TcpState.CLOSE_WAIT:
+            self.state = TcpState.LAST_ACK
+        elif self.state in (TcpState.SYN_SENT, TcpState.CLOSED):
+            self.state = TcpState.CLOSED
+            self._finish_closed()
+            return self.closed
+        self._pump()
+        return self.closed
+
+    def abort(self) -> None:
+        """Send RST and tear down immediately."""
+        if self.state not in (TcpState.CLOSED, TcpState.TIME_WAIT):
+            self._transmit(self._make_segment(self.snd_nxt, rst=True, ack=True))
+        self.state = TcpState.CLOSED
+        self._finish_closed()
+
+    # ------------------------------------------------------- segment arrival --
+    def on_segment(self, seg: TcpSegment, ecn_ce: bool = False) -> None:
+        """Demuxed entry point from the stack (CPU already charged)."""
+        self.stats.segments_received += 1
+        if seg.rst:
+            self._on_rst()
+            return
+
+        if self.state is TcpState.SYN_SENT:
+            if seg.syn and seg.ack and seg.ack_no == self.iss + 1:
+                self._accept_syn(seg)
+                self.snd_una = seg.ack_no
+                self._become_established()
+                self._send_ack(force=True)
+                self._pump()
+            return
+
+        if self.state is TcpState.SYN_RCVD:
+            if seg.ack and seg.ack_no == self.iss + 1 and not seg.syn:
+                self.snd_una = seg.ack_no
+                self._become_established()
+                # fall through: the ACK may carry data
+            elif seg.syn:
+                # Duplicate SYN: re-answer.
+                self._transmit(
+                    self._make_segment(self.iss, syn=True, ack=True), syn=True
+                )
+                return
+
+        if self.state in (TcpState.CLOSED, TcpState.LISTEN):
+            return
+        if seg.syn:
+            return  # stray SYN on an established connection
+
+        if seg.ts_val is not None:
+            self._ts_recent = seg.ts_val
+
+        if seg.ack:
+            self._process_ack(seg)
+        if seg.payload_len > 0:
+            self._process_data(seg, ecn_ce)
+        if seg.fin:
+            self._process_fin(seg)
+        elif seg.payload_len == 0 and not seg.ack:
+            pass  # keepalive-ish no-op
+
+    # ------------------------------------------------------------ ACK path --
+    def _process_ack(self, seg: TcpSegment) -> None:
+        ack = seg.ack_no
+        self.snd_wnd = seg.wnd
+        if ack > self.snd_nxt:
+            return  # acks data never sent; ignore
+
+        # Fold in SACK blocks (clipped to un-acked, in-flight data).
+        newly_sacked = 0
+        floor = max(ack, self.snd_una)
+        for block_start, block_end in seg.sack:
+            clipped_start = max(block_start, floor)
+            clipped_end = min(block_end, self.snd_nxt)
+            if clipped_end > clipped_start:
+                newly_sacked += self._sacked.add(clipped_start, clipped_end)
+
+        if ack <= self.snd_una:
+            is_dup = (
+                ack == self.snd_una
+                and seg.payload_len == 0
+                and not seg.fin
+                and self.snd_una < self.snd_nxt
+            )
+            if is_dup or newly_sacked > 0:
+                self._on_dupack(seg, newly_sacked)
+            elif self.snd_wnd > 0:
+                self._pump()  # window update may unblock us
+            return
+
+        advance = ack - self.snd_una
+        previously_sacked = self._sacked.covered(self.snd_una, ack)
+        self.snd_una = ack
+        self._sacked.trim_below(ack)
+        self._rexmitted.trim_below(ack)
+        self.stats.bytes_acked += advance
+        self._dupacks = 0
+
+        # Delivery accounting: bytes first reported delivered by this ACK.
+        delivered_inc = (advance - previously_sacked) + newly_sacked
+        self.delivered += delivered_inc
+        self.delivered_time = self.sim.now
+        sample = self._make_rate_sample(seg, delivered_inc)
+
+        # RTT from the echoed timestamp.
+        if seg.ts_ecr is not None:
+            rtt = self.sim.now - seg.ts_ecr
+            if rtt > 0:
+                self.rtt.on_sample(rtt)
+                sample.rtt = rtt
+
+        # Ack covers our FIN?
+        fin_acked = self.fin_seq is not None and ack >= self.fin_seq + 1
+
+        stream_acked = advance
+        if fin_acked and stream_acked > 0:
+            stream_acked -= 1  # FIN consumed one sequence number
+        self.send_buffer.on_ack(max(0, stream_acked))
+
+        # ECN echo (classic): one reduction per window.
+        if seg.ece:
+            self.stats.ecn_echoes += 1
+            if self.cc.wants_accurate_ecn:
+                sample.ce_marked = True
+            elif self.snd_una > self._ecn_reduction_seq:
+                self.cc.on_ecn(self.sim.now, self.bytes_in_flight)
+                self._ecn_reduction_seq = self.snd_nxt
+                self._send_cwr = True
+
+        if self._in_fast_recovery and ack >= self._recover:
+            self._in_fast_recovery = False
+            self._rexmitted.clear()
+            self._rto_high = 0
+            self.cc.on_recovery_exit(self.sim.now)
+        self.cc.on_ack(sample)
+
+        if self.snd_una == self.snd_nxt:
+            self._cancel_rto()
+            self.rtt.reset_backoff()
+        else:
+            self._arm_rto(restart=True)
+
+        self._on_fin_progress(fin_acked)
+        if self._in_fast_recovery:
+            self._recovery_send()
+        else:
+            self._pump()
+
+    def _make_rate_sample(self, seg: TcpSegment, delivered_inc: int) -> RateSample:
+        record: Optional[_TxRecord] = None
+        # Records are queued in send order with monotonically increasing
+        # end_seq, so cumulative ACKs pop a prefix.
+        while self._tx_order and self._tx_order[0] <= seg.ack_no:
+            end_seq = self._tx_order.popleft()
+            candidate = self._tx_records.pop(end_seq, None)
+            if candidate is not None and (
+                record is None or candidate.sent_time > record.sent_time
+            ):
+                record = candidate
+        # A SACK-only ACK samples the segment its freshest block ends at.
+        if record is None and seg.sack:
+            candidate = self._tx_records.pop(seg.sack[0][1], None)
+            if candidate is not None:
+                record = candidate
+        sample = RateSample(
+            newly_acked=delivered_inc,
+            delivered_total=self.delivered,
+            in_flight=self.bytes_in_flight,
+            now=self.sim.now,
+        )
+        if record is not None:
+            sample.is_app_limited = record.is_app_limited
+            sample.prior_delivered = record.delivered_at_send
+            # Guard against burst-ACK overestimation: the flight cannot have
+            # been delivered faster than it was sent (max of both intervals).
+            ack_interval = self.sim.now - record.delivered_time_at_send
+            send_interval = record.sent_time - record.first_tx_time
+            interval = max(ack_interval, send_interval)
+            if interval > 0:
+                sample.delivery_rate = (
+                    self.delivered - record.delivered_at_send
+                ) / interval
+            self._first_tx_time = record.sent_time
+        return sample
+
+    def _on_dupack(self, seg: TcpSegment, newly_sacked: int) -> None:
+        self.stats.dup_acks += 1
+        self._dupacks += 1
+
+        if newly_sacked > 0:
+            # SACKed bytes are delivered: feed the model (BBR cares) and
+            # restart the RTO — forward progress is happening (as Linux's
+            # tcp_rearm_rto does), even without cumulative advance.
+            self._arm_rto(restart=True)
+            self.delivered += newly_sacked
+            self.delivered_time = self.sim.now
+            sample = self._make_rate_sample(seg, newly_sacked)
+            if seg.ts_ecr is not None:
+                rtt = self.sim.now - seg.ts_ecr
+                if rtt > 0:
+                    sample.rtt = rtt
+                    self.rtt.on_sample(rtt)
+            self.cc.on_ack(sample)
+
+        lost_threshold = self._sacked.covered(
+            self.snd_una, self.snd_nxt
+        ) >= 3 * self.config.mss
+        if not self._in_fast_recovery and (self._dupacks >= 3 or lost_threshold):
+            self._enter_fast_recovery()
+        elif self._in_fast_recovery:
+            self._recovery_send()
+
+    def _enter_fast_recovery(self) -> None:
+        self._in_fast_recovery = True
+        self._recover = self.snd_nxt
+        self.cc.on_loss_event(self.sim.now, self.bytes_in_flight)
+        self.stats.fast_retransmits += 1
+        self._recovery_send()
+        self._arm_rto(restart=True)
+
+    def _recovery_send(self) -> None:
+        """SACK-based retransmission (RFC 6675 pipe algorithm, simplified).
+
+        Fill the congestion window with (1) not-yet-retransmitted holes
+        below the highest SACKed byte, then (2) new data.
+        """
+        span = self.snd_nxt - self.snd_una
+        sacked = self._sacked.covered(self.snd_una, self.snd_nxt)
+        high_sacked = min(self._sacked.max_end(), self.snd_nxt)
+        # After an RTO everything outstanding at timeout time is presumed lost.
+        high_lost = max(high_sacked, min(self._rto_high, self.snd_nxt))
+
+        holes: list[tuple[int, int]] = []
+        lost_unrepaired = 0
+        if high_lost > self.snd_una:
+            for hole_start, hole_end in self._sacked.holes(self.snd_una, high_lost):
+                for s, e in self._rexmitted.holes(hole_start, hole_end):
+                    holes.append((s, e))
+                    lost_unrepaired += e - s
+
+        pipe = span - sacked - lost_unrepaired
+        cwnd = self.cc.window()
+        mss = self.config.mss
+        # ACK clocking: at most one segment of retransmission per incoming
+        # ACK, so repair traffic cannot exceed the bottleneck rate and
+        # re-lose the repairs.
+        burst_budget = mss
+
+        for hole_start, hole_end in holes:
+            cursor = hole_start
+            while cursor < hole_end and pipe < cwnd and burst_budget > 0:
+                if self.fin_seq is not None and cursor >= self.fin_seq:
+                    # The hole is our FIN: resend it, not payload.
+                    seg = self._make_segment(cursor, ack=True, fin=True)
+                    self.stats.retransmits += 1
+                    self._transmit(seg, retransmit=True)
+                    self._rexmitted.add(cursor, cursor + 1)
+                    self._last_repair_time = self.sim.now
+                    pipe += 1
+                    break
+                length = min(mss, hole_end - cursor)
+                if self.fin_seq is not None:
+                    length = min(length, self.fin_seq - cursor)
+                seg = self._make_segment(
+                    cursor, ack=True, payload_len=length
+                )
+                self.stats.retransmits += 1
+                self._transmit(seg, retransmit=True)
+                self._rexmitted.add(cursor, cursor + length)
+                self._last_repair_time = self.sim.now
+                cursor += length
+                pipe += length
+                burst_budget -= length
+            if pipe >= cwnd or burst_budget <= 0:
+                break
+
+        if pipe < cwnd:
+            # Packet conservation allows new data too.
+            self._pump(allowed_in_flight=self.bytes_in_flight + (cwnd - pipe))
+
+        if self._rexmitted and not self._rack_armed:
+            self._arm_rack()
+
+    # RACK-style lost-retransmission detection: if snd_una has not moved a
+    # round trip after a hole was repaired, the retransmission itself was
+    # lost — clear the repaired-marks and retry, instead of waiting for the
+    # (window-collapsing) RTO.
+    def _arm_rack(self) -> None:
+        self._rack_armed = True
+        timeout = 1.25 * (self.rtt.srtt or self.rtt.rto)
+        self.sim.schedule_call(timeout, self._rack_fire, self.snd_una)
+
+    def _rack_fire(self, una_then: int) -> None:
+        self._rack_armed = False
+        if not self._in_fast_recovery:
+            return
+        if self.snd_una == una_then and self._rexmitted:
+            repair_age = self.sim.now - self._last_repair_time
+            if repair_age >= 1.25 * (self.rtt.srtt or self.rtt.rto):
+                self._rexmitted.clear()
+            self._recovery_send()
+        if self._in_fast_recovery and self._rexmitted and not self._rack_armed:
+            self._arm_rack()
+
+    # ------------------------------------------------------------ data path --
+    def _process_data(self, seg: TcpSegment, ecn_ce: bool) -> None:
+        if self.irs is None:
+            return
+        advanced = self.assembly.add(seg.seq, seg.payload_len)
+        in_order = advanced > 0
+        if advanced:
+            self.stats.bytes_received += advanced
+            self.recv_buffer.deliver(advanced)
+            self._check_fin_delivery()
+            if self.on_data_available is not None:
+                self.on_data_available(self, advanced)
+        # Echo CE marks regardless of local config: a mark can only exist
+        # if the sender negotiated ECN.  Classic receivers latch the echo
+        # until the sender's CWR; DCTCP-style receivers echo per segment
+        # (handled in _schedule_ack below).
+        if ecn_ce:
+            self._ecn_echo_latched = True
+        elif seg.cwr and not self.cc.wants_accurate_ecn:
+            self._ecn_echo_latched = False
+
+        self._delack_bytes += seg.payload_len
+        immediate = not in_order or self.assembly.out_of_order_bytes > 0
+        self._schedule_ack(immediate=immediate, accurate_ecn_ce=ecn_ce)
+
+    def _after_app_read(self) -> None:
+        """Send a window update if reading opened the window substantially."""
+        if self.state not in (TcpState.ESTABLISHED, TcpState.FIN_WAIT_1, TcpState.FIN_WAIT_2):
+            return
+        wnd = self.recv_buffer.window(self.assembly.out_of_order_bytes)
+        if wnd - self._last_advertised_wnd >= self.config.rcvbuf // 4:
+            self._send_ack(force=True)
+
+    # ------------------------------------------------------------- ACK sending --
+    def _schedule_ack(self, immediate: bool, accurate_ecn_ce: bool = False) -> None:
+        if self.cc.wants_accurate_ecn:
+            # DCTCP receiver: every data segment is acked, echoing its mark.
+            self._send_ack(force=True, ece_override=accurate_ecn_ce)
+            return
+        self._delack_pending += 1
+        # The segment threshold counts MSS-equivalents: one TSO/GRO
+        # aggregate of >= 2*MSS must be acked immediately (as Linux does),
+        # or a lone super-segment in flight would stall on the delack timer.
+        if (
+            immediate
+            or not self.config.delayed_ack
+            or self._delack_pending >= self.config.delack_segments
+            or self._delack_bytes >= self.config.delack_segments * self.config.mss
+        ):
+            self._send_ack(force=True)
+            return
+        gen = self._delack_gen
+        self.sim.schedule_call(
+            self.config.delack_timeout, self._delack_fire, gen
+        )
+
+    def _delack_fire(self, gen: int) -> None:
+        if gen == self._delack_gen and self._delack_pending > 0:
+            self._send_ack(force=True)
+
+    def _send_ack(self, force: bool = False, ece_override: Optional[bool] = None) -> None:
+        if self.irs is None or self.state in (TcpState.CLOSED, TcpState.LISTEN):
+            return
+        self._delack_pending = 0
+        self._delack_bytes = 0
+        self._delack_gen += 1
+        seg = self._make_segment(self.snd_nxt, ack=True)
+        if ece_override is not None:
+            seg.ece = ece_override
+        self._transmit(seg)
+
+    # ------------------------------------------------------------- FIN path --
+    def _process_fin(self, seg: TcpSegment) -> None:
+        fin_seq = seg.seq + seg.payload_len
+        self.fin_received_seq = fin_seq
+        # FIN is in order only when all stream data before it has arrived.
+        if self.assembly.rcv_nxt == fin_seq:
+            self.assembly.rcv_nxt += 1
+            self.recv_buffer.deliver_eof()
+            self._fin_advance_state()
+        self._send_ack(force=True)
+
+    def _check_fin_delivery(self) -> None:
+        if (
+            self.fin_received_seq is not None
+            and self.assembly.rcv_nxt == self.fin_received_seq
+        ):
+            self.assembly.rcv_nxt += 1
+            self.recv_buffer.deliver_eof()
+            self._fin_advance_state()
+            self._send_ack(force=True)
+
+    def _fin_advance_state(self) -> None:
+        if self.state is TcpState.ESTABLISHED:
+            self.state = TcpState.CLOSE_WAIT
+        elif self.state is TcpState.FIN_WAIT_1:
+            self.state = TcpState.CLOSING
+        elif self.state is TcpState.FIN_WAIT_2:
+            self._enter_time_wait()
+
+    def _on_fin_progress(self, fin_acked: bool) -> None:
+        if not fin_acked:
+            return
+        if self.state is TcpState.FIN_WAIT_1:
+            self.state = TcpState.FIN_WAIT_2
+        elif self.state is TcpState.CLOSING:
+            self._enter_time_wait()
+        elif self.state is TcpState.LAST_ACK:
+            self.state = TcpState.CLOSED
+            self._finish_closed()
+
+    def _enter_time_wait(self) -> None:
+        self.state = TcpState.TIME_WAIT
+        self.sim.schedule_call(2 * self.config.msl, self._time_wait_done)
+
+    def _time_wait_done(self) -> None:
+        if self.state is TcpState.TIME_WAIT:
+            self.state = TcpState.CLOSED
+            self._finish_closed()
+
+    def _finish_closed(self) -> None:
+        self._cancel_rto()
+        if not self.closed.triggered:
+            self.closed.succeed()
+        self.stack.forget(self)
+
+    def _on_rst(self) -> None:
+        self.state = TcpState.CLOSED
+        self.recv_buffer.deliver_eof()
+        if not self.established.triggered:
+            self.established.fail(ConnectionReset(f"{self.local} reset by peer"))
+        self._finish_closed()
+
+    # ------------------------------------------------------------ transmit --
+    def _pump(self, allowed_in_flight: Optional[int] = None) -> None:
+        """Send whatever the window, pacing and app data allow.
+
+        ``allowed_in_flight`` overrides the usual min(cwnd, rwnd) budget;
+        fast recovery uses it to apply the pipe algorithm's allowance.
+        """
+        if self.state not in (
+            TcpState.ESTABLISHED,
+            TcpState.CLOSE_WAIT,
+            TcpState.FIN_WAIT_1,
+            TcpState.CLOSING,
+            TcpState.LAST_ACK,
+        ):
+            return
+        while True:
+            sent_bytes = self.snd_nxt - self.data_seq_base - (
+                1 if self.fin_sent else 0
+            )
+            available = self.send_buffer.written - sent_bytes
+            if allowed_in_flight is not None:
+                window = min(allowed_in_flight, max(self.snd_wnd, 0))
+            else:
+                window = min(self.cc.window(), max(self.snd_wnd, 0))
+            in_flight = self.bytes_in_flight
+
+            want_fin = (
+                self.send_buffer.fin_requested
+                and available == 0
+                and not self.fin_sent
+                and self.state in (TcpState.FIN_WAIT_1, TcpState.CLOSING, TcpState.LAST_ACK)
+            )
+            if available <= 0 and not want_fin:
+                if in_flight == 0 and self.send_buffer.written > 0:
+                    self._mark_app_limited()
+                break
+            if in_flight >= window:
+                if self.snd_wnd == 0 and in_flight == 0:
+                    self._arm_persist()
+                break
+            if self._pacing_blocked():
+                break
+            if (
+                self.config.nagle
+                and not want_fin
+                and 0 < available < self.config.mss
+                and in_flight > 0
+            ):
+                break  # Nagle: hold the runt until the pipe drains
+
+            if want_fin:
+                seg = self._make_segment(self.snd_nxt, ack=True, fin=True)
+                self.fin_seq = self.snd_nxt
+                self.fin_sent = True
+                self.snd_nxt += 1
+                self._transmit(seg)
+                self._arm_rto()
+                break
+
+            length = min(available, self.config.effective_mss)
+            seg = self._make_segment(self.snd_nxt, ack=True, payload_len=length)
+            self.snd_nxt += length
+            self._transmit(seg)
+            self._arm_rto()
+            self._pacing_advance(length)
+
+    def _mark_app_limited(self) -> None:
+        self._app_limited_until = self.delivered + self.bytes_in_flight
+
+    # pacing ---------------------------------------------------------------
+    def _pacing_blocked(self) -> bool:
+        rate = self.cc.pacing_rate()
+        if rate is None or rate <= 0:
+            return False
+        if self.sim.now + 1e-12 >= self._next_send_time:
+            return False
+        if not self._pacing_timer_armed:
+            self._pacing_timer_armed = True
+            self.sim.schedule_call(
+                self._next_send_time - self.sim.now, self._pacing_fire
+            )
+        return True
+
+    def _pacing_fire(self) -> None:
+        self._pacing_timer_armed = False
+        self._pump()
+
+    def _pacing_advance(self, nbytes: int) -> None:
+        rate = self.cc.pacing_rate()
+        if rate is None or rate <= 0:
+            return
+        base = max(self.sim.now, self._next_send_time)
+        self._next_send_time = base + nbytes / rate
+
+    # segment construction ----------------------------------------------------
+    def _make_segment(
+        self,
+        seq: int,
+        ack: bool = False,
+        syn: bool = False,
+        fin: bool = False,
+        rst: bool = False,
+        payload_len: int = 0,
+    ) -> TcpSegment:
+        wnd = self.recv_buffer.window(self.assembly.out_of_order_bytes)
+        self._last_advertised_wnd = wnd
+        seg = TcpSegment(
+            src_port=self.local.port,
+            dst_port=self.remote.port,
+            seq=seq,
+            ack_no=self.assembly.rcv_nxt if ack and self.irs is not None else 0,
+            payload_len=payload_len,
+            syn=syn,
+            ack=ack,
+            fin=fin,
+            rst=rst,
+            wnd=wnd,
+            ts_val=self.sim.now,
+            ts_ecr=self._ts_recent,
+            sack=self.assembly.sack_blocks() if ack and self.irs is not None else (),
+        )
+        if ack and not rst and self._ecn_echo_latched and not self.cc.wants_accurate_ecn:
+            seg.ece = True
+        if payload_len > 0 and self._send_cwr:
+            seg.cwr = True
+            self._send_cwr = False
+        return seg
+
+    def _transmit(
+        self, seg: TcpSegment, syn: bool = False, retransmit: bool = False
+    ) -> None:
+        self.stats.segments_sent += 1
+        if seg.payload_len > 0:
+            self.stats.bytes_sent += seg.payload_len
+            if not retransmit:
+                if self.bytes_in_flight == 0:
+                    self._first_tx_time = self.sim.now
+                self._tx_order.append(seg.end_seq)
+                self._tx_records[seg.end_seq] = _TxRecord(
+                    end_seq=seg.end_seq,
+                    sent_time=self.sim.now,
+                    first_tx_time=self._first_tx_time,
+                    delivered_at_send=self.delivered,
+                    delivered_time_at_send=self.delivered_time or self.sim.now,
+                    is_app_limited=self.delivered + self.bytes_in_flight
+                    <= self._app_limited_until,
+                    payload_len=seg.payload_len,
+                )
+        self.stack.send_segment(self, seg)
+
+    # SYN helpers ---------------------------------------------------------------
+    def _send_syn(self) -> None:
+        seg = self._make_segment(self.iss, syn=True)
+        self.snd_nxt = self.iss + 1
+        self._transmit(seg, syn=True)
+        self._arm_rto()
+
+    def _accept_syn(self, seg: TcpSegment) -> None:
+        self.irs = seg.seq
+        self.assembly = ReassemblyQueue(rcv_nxt=seg.seq + 1)
+        self.snd_wnd = seg.wnd
+        if seg.ts_val is not None:
+            self._ts_recent = seg.ts_val
+
+    def _become_established(self) -> None:
+        if self.state in (TcpState.SYN_SENT, TcpState.SYN_RCVD):
+            self.state = TcpState.ESTABLISHED
+            self.delivered_time = self.sim.now
+            if not self.established.triggered:
+                self.established.succeed(self)
+            if self.on_established_cb is not None:
+                self.on_established_cb(self)
+
+    # timers ----------------------------------------------------------------
+    def _arm_rto(self, restart: bool = False) -> None:
+        if self._rto_armed and not restart:
+            return
+        self._rto_gen += 1
+        self._rto_armed = True
+        self.sim.schedule_call(self.rtt.rto, self._rto_fire, self._rto_gen)
+
+    def _cancel_rto(self) -> None:
+        self._rto_gen += 1
+        self._rto_armed = False
+
+    def _rto_fire(self, gen: int) -> None:
+        if gen != self._rto_gen:
+            return
+        self._rto_armed = False
+        if self.state is TcpState.SYN_SENT:
+            self._syn_retries_left -= 1
+            if self._syn_retries_left <= 0:
+                self.established.fail(
+                    ConnectionReset(f"connect {self.remote}: SYN retries exhausted")
+                )
+                self.state = TcpState.CLOSED
+                self._finish_closed()
+                return
+            self.rtt.on_timeout()
+            self._send_syn()
+            return
+        if self.state is TcpState.SYN_RCVD:
+            self.rtt.on_timeout()
+            self._transmit(self._make_segment(self.iss, syn=True, ack=True), syn=True)
+            self._arm_rto()
+            return
+        if self.snd_una >= self.snd_nxt:
+            return  # everything acked; nothing to do
+        self.stats.timeouts += 1
+        self.rtt.on_timeout()
+        self.cc.on_rto(self.sim.now)
+        # Treat everything unsacked as lost; retransmit via the scoreboard
+        # machinery while the window regrows from one MSS.  SACKed ranges
+        # are kept (as Linux does) so delivered-byte accounting stays exact.
+        self._dupacks = 0
+        self._rexmitted.clear()
+        self._tx_records.clear()
+        self._tx_order.clear()
+        self._in_fast_recovery = True
+        self._recover = self.snd_nxt
+        self._rto_high = self.snd_nxt
+        self._arm_rto(restart=True)
+        self._recovery_send()
+
+    def _arm_persist(self) -> None:
+        self._persist_gen += 1
+        self.sim.schedule_call(self.rtt.rto, self._persist_fire, self._persist_gen)
+
+    def _persist_fire(self, gen: int) -> None:
+        if gen != self._persist_gen:
+            return
+        if self.snd_wnd == 0 and self.state is TcpState.ESTABLISHED:
+            # Window probe: 1-byte nudge would be the real thing; a bare ACK
+            # suffices to elicit a window update in this simulation.
+            self._send_ack(force=True)
+            self._arm_persist()
+
+    def __repr__(self) -> str:
+        return (
+            f"<TcpConnection {self.local}->{self.remote} {self.state.value} "
+            f"cc={self.cc.name} una={self.snd_una} nxt={self.snd_nxt}>"
+        )

@@ -1,0 +1,118 @@
+"""Interval-set arithmetic over sequence ranges.
+
+Used by the receiver's reassembly queue and by the sender's SACK
+scoreboard.  Intervals are half-open ``[start, end)`` ranges of absolute
+sequence numbers, kept sorted and disjoint.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+__all__ = ["IntervalSet"]
+
+
+class IntervalSet:
+    """A sorted, disjoint set of half-open integer intervals."""
+
+    def __init__(self) -> None:
+        self._iv: List[Tuple[int, int]] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._iv)
+
+    def __len__(self) -> int:
+        return len(self._iv)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._iv)
+
+    def intervals(self) -> List[Tuple[int, int]]:
+        return list(self._iv)
+
+    def total(self) -> int:
+        """Total bytes covered."""
+        return sum(e - s for s, e in self._iv)
+
+    def max_end(self) -> int:
+        """Highest covered sequence number (0 when empty)."""
+        return self._iv[-1][1] if self._iv else 0
+
+    def add(self, start: int, end: int) -> int:
+        """Insert ``[start, end)``; return the number of newly covered bytes."""
+        if end <= start:
+            return 0
+        before = self.total()
+        merged: List[Tuple[int, int]] = []
+        placed = False
+        for s, e in self._iv:
+            if e < start:
+                merged.append((s, e))
+            elif s > end:
+                if not placed:
+                    merged.append((start, end))
+                    placed = True
+                merged.append((s, e))
+            else:
+                start = min(start, s)
+                end = max(end, e)
+        if not placed:
+            merged.append((start, end))
+            merged.sort()
+        self._iv = merged
+        return self.total() - before
+
+    def covered(self, start: int, end: int) -> int:
+        """Bytes of ``[start, end)`` that this set covers."""
+        if end <= start:
+            return 0
+        total = 0
+        for s, e in self._iv:
+            if e <= start:
+                continue
+            if s >= end:
+                break
+            total += min(e, end) - max(s, start)
+        return total
+
+    def contains(self, start: int, end: int) -> bool:
+        """True if ``[start, end)`` is fully covered."""
+        return self.covered(start, end) == end - start
+
+    def holes(self, start: int, end: int) -> Iterator[Tuple[int, int]]:
+        """Yield the gaps of ``[start, end)`` this set does not cover."""
+        if end <= start:
+            return
+        cursor = start
+        for s, e in self._iv:
+            if e <= cursor:
+                continue
+            if s >= end:
+                break
+            if s > cursor:
+                yield (cursor, min(s, end))
+            cursor = max(cursor, e)
+            if cursor >= end:
+                return
+        if cursor < end:
+            yield (cursor, end)
+
+    def trim_below(self, cutoff: int) -> None:
+        """Drop coverage below ``cutoff``."""
+        trimmed: List[Tuple[int, int]] = []
+        for s, e in self._iv:
+            if e <= cutoff:
+                continue
+            trimmed.append((max(s, cutoff), e))
+        self._iv = trimmed
+
+    def clear(self) -> None:
+        self._iv = []
+
+    def first(self) -> Tuple[int, int]:
+        if not self._iv:
+            raise IndexError("empty interval set")
+        return self._iv[0]
+
+    def __repr__(self) -> str:
+        return f"IntervalSet({self._iv!r})"

@@ -1,0 +1,278 @@
+"""A TCP/IP protocol stack instance.
+
+One :class:`TcpStack` corresponds to "the network stack" of a guest kernel,
+an NSM, or a bare-metal host.  It owns a NIC, demultiplexes inbound
+segments to connections, allocates ports, spawns server connections for
+listeners, and charges CPU for protocol processing so that a stack confined
+to one core (like the paper's 1-core NSM) has a realistic throughput
+ceiling.
+
+CPU cost model: each segment costs ``per_segment_ns`` plus
+``per_byte_ns`` × payload on both transmit and receive, charged to the core
+the connection is hashed to (RSS-style).  The provisioning layer
+(repro.netkernel.provision / nsm) calibrates the constants so guest-kernel
+and NSM stacks pay the same per-core total (see docs/ARCHITECTURE.md),
+which is what makes Figure 4 come out even.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..net import NIC, Endpoint, Packet
+from ..sim import NANOS, Event, Simulator
+from .cc import base as cc_base
+from .connection import TcpConfig, TcpConnection
+from .listener import Listener
+from .segment import TcpSegment
+
+__all__ = ["StackConfig", "TcpStack", "StackStats"]
+
+
+class _Core:  # typing protocol, duck-typed against repro.host.cpu.Core
+    def execute(self, cost_seconds: float) -> Event: ...  # pragma: no cover
+
+
+@dataclass
+class StackConfig:
+    """Stack-wide defaults and CPU cost constants."""
+
+    #: Default congestion control for new connections.
+    congestion_control: str = "cubic"
+    #: Template for per-connection tunables.
+    tcp: TcpConfig = field(default_factory=TcpConfig)
+    #: Fixed CPU cost per segment processed (protocol work, interrupts).
+    per_segment_ns: float = 2000.0
+    #: CPU cost per payload byte (copies, checksums).
+    per_byte_ns: float = 0.30
+    #: First ephemeral port.
+    ephemeral_base: int = 32768
+
+
+@dataclass
+class StackStats:
+    segments_in: int = 0
+    segments_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    rst_sent: int = 0
+    no_socket_drops: int = 0
+    connections_opened: int = 0
+    connections_accepted: int = 0
+
+
+ConnKey = Tuple[int, str, int]  # (local_port, remote_ip, remote_port)
+
+
+class TcpStack:
+    """A complete TCP endpoint bound to one NIC/IP."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic: NIC,
+        cores: Optional[List[_Core]] = None,
+        config: Optional[StackConfig] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.sim = sim
+        self.nic = nic
+        self.cores = list(cores) if cores else []
+        self.config = config or StackConfig()
+        self.name = name or f"stack:{nic.ip}"
+        self.ip = nic.ip
+        nic.rx_handler = self.on_packet
+
+        self._connections: Dict[ConnKey, TcpConnection] = {}
+        self._listeners: Dict[int, Listener] = {}
+        self._next_ephemeral = self.config.ephemeral_base
+        self._next_core = 0
+        self._core_of: Dict[int, _Core] = {}  # id(conn) -> core
+        #: Fastpass-style fabric arbiter: when set, every payload-bearing
+        #: segment waits for a wire timeslot grant before transmission
+        #: (pure ACKs bypass — they are a rounding error on the fabric).
+        self.arbiter = None
+        self.stats = StackStats()
+
+    # ----------------------------------------------------------- provisioning --
+    def effective_mss(self) -> int:
+        return self.nic.offload.effective_mss
+
+    def _tcp_config(self, **overrides) -> TcpConfig:
+        cfg = replace(self.config.tcp)
+        cfg.effective_mss = max(cfg.mss, self.effective_mss())
+        for key, value in overrides.items():
+            setattr(cfg, key, value)
+        return cfg
+
+    def _make_cc(self, name: Optional[str], mss: int) -> cc_base.CongestionControl:
+        return cc_base.make(name or self.config.congestion_control, mss=mss)
+
+    def allocate_port(self) -> int:
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        if self._next_ephemeral > 65535:
+            self._next_ephemeral = self.config.ephemeral_base
+        return port
+
+    def _assign_core(self, conn: TcpConnection) -> None:
+        if self.cores:
+            self._core_of[id(conn)] = self.cores[self._next_core % len(self.cores)]
+            self._next_core += 1
+
+    # ------------------------------------------------------------- active open --
+    def connect(
+        self,
+        remote: Endpoint,
+        congestion_control: Optional[str] = None,
+        local_port: Optional[int] = None,
+        **tcp_overrides,
+    ) -> TcpConnection:
+        """Open a connection; wait on ``conn.established`` for completion."""
+        port = local_port if local_port is not None else self.allocate_port()
+        local = Endpoint(self.ip, port)
+        cfg = self._tcp_config(**tcp_overrides)
+        cc = self._make_cc(congestion_control, cfg.mss)
+        conn = TcpConnection(self.sim, self, local, remote, cc, cfg)
+        key = (port, remote.ip, remote.port)
+        if key in self._connections:
+            raise RuntimeError(f"connection collision on {key}")
+        self._connections[key] = conn
+        self.stats.connections_opened += 1
+        self._assign_core(conn)
+        conn.open_active()
+        return conn
+
+    # ------------------------------------------------------------ passive open --
+    def listen(
+        self,
+        port: int,
+        backlog: int = 128,
+        congestion_control: Optional[str] = None,
+        **tcp_overrides,
+    ) -> Listener:
+        if port in self._listeners and not self._listeners[port].closed:
+            raise RuntimeError(f"port {port} already listening")
+        listener = Listener(self.sim, port, backlog)
+        listener._cc_name = congestion_control  # type: ignore[attr-defined]
+        listener._tcp_overrides = tcp_overrides  # type: ignore[attr-defined]
+        self._listeners[port] = listener
+        return listener
+
+    def _spawn_server_connection(self, listener: Listener, seg: TcpSegment, src_ip: str) -> None:
+        local = Endpoint(self.ip, listener.port)
+        remote = Endpoint(src_ip, seg.src_port)
+        cfg = self._tcp_config(**getattr(listener, "_tcp_overrides", {}))
+        cc = self._make_cc(getattr(listener, "_cc_name", None), cfg.mss)
+        conn = TcpConnection(self.sim, self, local, remote, cc, cfg)
+        self._connections[(listener.port, remote.ip, remote.port)] = conn
+        self.stats.connections_accepted += 1
+        self._assign_core(conn)
+        conn.on_established_cb = lambda c: listener.enqueue_established(c)
+        conn.open_passive_from_syn(seg)
+
+    # --------------------------------------------------------------- data path --
+    def send_segment(self, conn: TcpConnection, seg: TcpSegment) -> None:
+        """Charge transmit CPU, then hand the packet to the NIC."""
+        self.stats.segments_out += 1
+        self.stats.bytes_out += seg.payload_len
+        packet = Packet(
+            src=self.ip,
+            dst=conn.remote.ip,
+            payload_bytes=seg.payload_len,
+            payload=seg,
+            ecn_capable=conn.config.ecn and seg.payload_len > 0,
+            flow_id=id(conn),
+            created_at=self.sim.now,
+        )
+        core = self._core_of.get(id(conn))
+        if core is None:
+            self._to_wire(packet, seg)
+            return
+        cost = (
+            self.config.per_segment_ns + self.config.per_byte_ns * seg.payload_len
+        ) * NANOS
+        core.execute(cost).add_callback(lambda _ev: self._to_wire(packet, seg))
+
+    def _to_wire(self, packet: Packet, seg: TcpSegment) -> None:
+        if self.arbiter is not None and seg.payload_len > 0:
+            self.arbiter.request(packet.wire_bytes()).add_callback(
+                lambda _ev: self.nic.transmit(packet)
+            )
+        else:
+            self.nic.transmit(packet)
+
+    def on_packet(self, packet: Packet) -> None:
+        """NIC receive entry point: charge CPU, then demultiplex."""
+        seg = packet.payload
+        if not isinstance(seg, TcpSegment):
+            return
+        self.stats.segments_in += 1
+        self.stats.bytes_in += seg.payload_len
+        key = (seg.dst_port, packet.src, seg.src_port)
+        conn = self._connections.get(key)
+        core = self._core_of.get(id(conn)) if conn is not None else (
+            self.cores[0] if self.cores else None
+        )
+        if core is None:
+            self._demux(packet, seg)
+            return
+        cost = (
+            self.config.per_segment_ns + self.config.per_byte_ns * seg.payload_len
+        ) * NANOS
+        core.execute(cost).add_callback(lambda _ev: self._demux(packet, seg))
+
+    def _demux(self, packet: Packet, seg: TcpSegment) -> None:
+        key = (seg.dst_port, packet.src, seg.src_port)
+        conn = self._connections.get(key)
+        if conn is not None:
+            conn.on_segment(seg, ecn_ce=packet.ecn_ce)
+            return
+        if seg.syn and not seg.ack:
+            listener = self._listeners.get(seg.dst_port)
+            if listener is not None and listener.can_admit():
+                self._spawn_server_connection(listener, seg, packet.src)
+                return
+            if listener is not None:
+                self.stats.no_socket_drops += 1
+                return  # backlog full: silent drop, client retries
+        if seg.rst:
+            return
+        self._send_rst(packet, seg)
+
+    def _send_rst(self, packet: Packet, seg: TcpSegment) -> None:
+        self.stats.rst_sent += 1
+        rst = TcpSegment(
+            src_port=seg.dst_port,
+            dst_port=seg.src_port,
+            seq=seg.ack_no,
+            ack_no=seg.end_seq,
+            rst=True,
+            ack=True,
+        )
+        self.nic.transmit(
+            Packet(
+                src=self.ip,
+                dst=packet.src,
+                payload_bytes=0,
+                payload=rst,
+                created_at=self.sim.now,
+            )
+        )
+
+    # ------------------------------------------------------------- bookkeeping --
+    def forget(self, conn: TcpConnection) -> None:
+        """Remove a fully closed connection from the demux table."""
+        key = (conn.local.port, conn.remote.ip, conn.remote.port)
+        existing = self._connections.get(key)
+        if existing is conn:
+            del self._connections[key]
+        self._core_of.pop(id(conn), None)
+
+    @property
+    def connection_count(self) -> int:
+        return len(self._connections)
+
+    def __repr__(self) -> str:
+        return f"<TcpStack {self.name} conns={len(self._connections)}>"

@@ -1,0 +1,114 @@
+"""Shared test fixtures and mini-rigs.
+
+``linked_stacks`` builds the smallest possible end-to-end TCP rig: two
+stacks joined by a duplex link, no hosts or hypervisors.  The heavier
+NetKernel rigs live in the tests that need them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import pytest
+
+from repro.net import DuplexLink, LossModel, OffloadConfig, VirtualNIC
+from repro.sim import Simulator
+from repro.tcp import StackConfig, TcpStack
+
+
+@dataclass
+class LinkedStacks:
+    sim: Simulator
+    stack_a: TcpStack
+    stack_b: TcpStack
+    link: DuplexLink
+
+    def run(self, until: float) -> None:
+        self.sim.run(until=until)
+
+
+def make_linked_stacks(
+    rate_bps: float = 1e9,
+    delay: float = 1e-3,
+    queue_bytes: int = 256 * 1024,
+    loss: Optional[LossModel] = None,
+    loss_reverse: Optional[LossModel] = None,
+    tso: bool = False,
+    cc_a: str = "cubic",
+    cc_b: str = "cubic",
+    ecn_threshold_bytes: Optional[int] = None,
+    stack_config_a: Optional[StackConfig] = None,
+    stack_config_b: Optional[StackConfig] = None,
+) -> LinkedStacks:
+    sim = Simulator()
+    offload = OffloadConfig(tso=tso)
+    nic_a = VirtualNIC(sim, "10.0.0.1", offload)
+    nic_b = VirtualNIC(sim, "10.0.0.2", offload)
+    link = DuplexLink(
+        sim,
+        rate_bps=rate_bps,
+        propagation_delay=delay,
+        queue_bytes=queue_bytes,
+        ecn_threshold_bytes=ecn_threshold_bytes,
+        loss=loss,
+        loss_reverse=loss_reverse,
+        name="test-wire",
+    )
+    nic_a.downstream = lambda pkt, nic: link.a_to_b.send(pkt)
+    nic_b.downstream = lambda pkt, nic: link.b_to_a.send(pkt)
+    link.attach(nic_a.receive, nic_b.receive)
+    stack_a = TcpStack(
+        sim, nic_a, config=stack_config_a or StackConfig(congestion_control=cc_a)
+    )
+    stack_b = TcpStack(
+        sim, nic_b, config=stack_config_b or StackConfig(congestion_control=cc_b)
+    )
+    return LinkedStacks(sim=sim, stack_a=stack_a, stack_b=stack_b, link=link)
+
+
+def transfer(
+    rig: LinkedStacks,
+    total_bytes: int,
+    port: int = 5000,
+    time_limit: float = 300.0,
+    write_size: int = 65536,
+):
+    """Run a complete A->B transfer; returns (received, finish_time, conn)."""
+    result = {}
+
+    def server(sim):
+        listener = rig.stack_b.listen(port)
+        conn = yield listener.accept()
+        got = 0
+        while True:
+            n = yield conn.recv(1 << 20)
+            if n == 0:
+                break
+            got += n
+        result["received"] = got
+        result["finished_at"] = sim.now
+        yield conn.close()
+
+    def client(sim):
+        from repro.net import Endpoint
+
+        conn = rig.stack_a.connect(Endpoint("10.0.0.2", port))
+        result["client_conn"] = conn
+        yield conn.established
+        sent = 0
+        while sent < total_bytes:
+            n = min(write_size, total_bytes - sent)
+            yield conn.send(n)
+            sent += n
+        yield conn.close()
+
+    rig.sim.process(server(rig.sim))
+    rig.sim.process(client(rig.sim))
+    rig.sim.run(until=time_limit)
+    return result
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()

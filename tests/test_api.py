@@ -1,0 +1,272 @@
+"""Tenant socket API: kernel implementation, epoll, API parity.
+
+The parity tests are the compatibility claim of the paper: one application
+body runs unchanged against both the legacy and the NetKernel API.
+"""
+
+import pytest
+
+from repro.api import (
+    EPOLLIN,
+    AddressInUse,
+    BadFileDescriptor,
+    Epoll,
+    InvalidSocketState,
+    KernelSocketApi,
+    UnsupportedCongestionControl,
+)
+from repro.experiments.common import make_lan_testbed
+from repro.host.vm import GuestOS
+from repro.net import Endpoint
+from repro.netkernel import NsmSpec
+
+from conftest import make_linked_stacks
+
+
+def make_kernel_apis(cc_set=None):
+    rig = make_linked_stacks()
+    api_a = KernelSocketApi(rig.sim, rig.stack_a, available_cc=cc_set)
+    api_b = KernelSocketApi(rig.sim, rig.stack_b, available_cc=cc_set)
+    return rig, api_a, api_b
+
+
+def test_socket_returns_increasing_fds():
+    rig, api, _ = make_kernel_apis()
+    fds = []
+
+    def proc(sim):
+        for _ in range(3):
+            fd = yield api.socket()
+            fds.append(fd)
+
+    rig.sim.process(proc(rig.sim))
+    rig.run(until=0.1)
+    assert fds == [3, 4, 5]
+
+
+def test_bad_fd_raises():
+    rig, api, _ = make_kernel_apis()
+    with pytest.raises(BadFileDescriptor):
+        api.send(99, 10)
+
+
+def test_bind_collision_raises():
+    rig, api, _ = make_kernel_apis()
+    done = {}
+
+    def proc(sim):
+        fd1 = yield api.socket()
+        fd2 = yield api.socket()
+        yield api.bind(fd1, 80)
+        try:
+            yield api.bind(fd2, 80)
+        except AddressInUse:
+            done["collision"] = True
+
+    rig.sim.process(proc(rig.sim))
+    rig.run(until=0.1)
+    assert done.get("collision")
+
+
+def test_listen_requires_bind():
+    rig, api, _ = make_kernel_apis()
+    done = {}
+
+    def proc(sim):
+        fd = yield api.socket()
+        try:
+            yield api.listen(fd)
+        except InvalidSocketState:
+            done["raised"] = True
+
+    rig.sim.process(proc(rig.sim))
+    rig.run(until=0.1)
+    assert done.get("raised")
+
+
+def test_kernel_api_enforces_guest_cc_restrictions():
+    """Windows (ctcp/reno only): requesting BBR fails like the real kernel."""
+    rig, api, _ = make_kernel_apis(cc_set=GuestOS.WINDOWS.available_cc)
+    done = {}
+
+    def proc(sim):
+        fd = yield api.socket()
+        try:
+            api.set_congestion_control(fd, "bbr")
+        except UnsupportedCongestionControl:
+            done["refused"] = True
+        api.set_congestion_control(fd, "ctcp")  # the native default works
+
+    rig.sim.process(proc(rig.sim))
+    rig.run(until=0.1)
+    assert done.get("refused")
+
+
+def test_set_cc_after_connect_rejected():
+    rig, api_a, api_b = make_kernel_apis()
+    done = {}
+
+    def server(sim):
+        fd = yield api_b.socket()
+        yield api_b.bind(fd, 5000)
+        yield api_b.listen(fd)
+        yield api_b.accept(fd)
+
+    def client(sim):
+        fd = yield api_a.socket()
+        yield api_a.connect(fd, Endpoint("10.0.0.2", 5000))
+        try:
+            api_a.set_congestion_control(fd, "reno")
+        except InvalidSocketState:
+            done["raised"] = True
+
+    rig.sim.process(server(rig.sim))
+    rig.sim.process(client(rig.sim))
+    rig.run(until=1.0)
+    assert done.get("raised")
+
+
+def echo_app(sim, api_server, api_client, server_ip, payload, out):
+    """One app body used against BOTH API implementations (parity check)."""
+
+    def server(s):
+        fd = yield api_server.socket()
+        yield api_server.bind(fd, 6000)
+        yield api_server.listen(fd)
+        conn = yield api_server.accept(fd)
+        got = 0
+        while got < payload:
+            n = yield api_server.recv(conn, payload)
+            if n == 0:
+                break
+            got += n
+        yield api_server.send(conn, got)
+        yield api_server.close(conn)
+
+    def client(s):
+        yield s.timeout(0.01)
+        fd = yield api_client.socket()
+        yield api_client.connect(fd, Endpoint(server_ip, 6000))
+        yield api_client.send(fd, payload)
+        got = 0
+        while got < payload:
+            n = yield api_client.recv(fd, payload)
+            if n == 0:
+                break
+            got += n
+        out["echoed"] = got
+        yield api_client.close(fd)
+
+    sim.process(server(sim))
+    sim.process(client(sim))
+
+
+def test_api_parity_same_app_on_kernel_api():
+    rig, api_a, api_b = make_kernel_apis()
+    out = {}
+    echo_app(rig.sim, api_b, api_a, "10.0.0.2", 10_000, out)
+    rig.run(until=10.0)
+    assert out["echoed"] == 10_000
+
+
+def test_api_parity_same_app_on_netkernel_api():
+    testbed = make_lan_testbed()
+    nsm_a = testbed.hypervisor_a.boot_nsm(NsmSpec())
+    nsm_b = testbed.hypervisor_b.boot_nsm(NsmSpec())
+    vm_a = testbed.hypervisor_a.boot_netkernel_vm("a", nsm_a)
+    vm_b = testbed.hypervisor_b.boot_netkernel_vm("b", nsm_b)
+    out = {}
+    echo_app(testbed.sim, vm_b.api, vm_a.api, vm_b.api.ip, 10_000, out)
+    testbed.sim.run(until=10.0)
+    assert out["echoed"] == 10_000
+
+
+# ---------------------------------------------------------------------- epoll --
+def test_epoll_reports_readable_connection():
+    rig, api_a, api_b = make_kernel_apis()
+    ready_fds = []
+
+    def server(sim):
+        fd = yield api_b.socket()
+        yield api_b.bind(fd, 5000)
+        yield api_b.listen(fd)
+        conn = yield api_b.accept(fd)
+        epoll = Epoll(sim, api_b)
+        epoll.register(conn)
+        ready = yield epoll.wait()
+        ready_fds.extend(fd for fd, _ev in ready)
+
+    def client(sim):
+        fd = yield api_a.socket()
+        yield api_a.connect(fd, Endpoint("10.0.0.2", 5000))
+        yield sim.timeout(0.5)
+        yield api_a.send(fd, 100)
+
+    rig.sim.process(server(rig.sim))
+    rig.sim.process(client(rig.sim))
+    rig.run(until=5.0)
+    assert len(ready_fds) == 1
+
+
+def test_epoll_reports_pending_accept():
+    rig, api_a, api_b = make_kernel_apis()
+    observed = {}
+
+    def server(sim):
+        fd = yield api_b.socket()
+        yield api_b.bind(fd, 5000)
+        yield api_b.listen(fd)
+        epoll = Epoll(sim, api_b)
+        epoll.register(fd)
+        ready = yield epoll.wait()
+        observed["ready"] = ready
+        conn = yield api_b.accept(fd)
+        observed["accepted"] = conn
+
+    def client(sim):
+        fd = yield api_a.socket()
+        yield api_a.connect(fd, Endpoint("10.0.0.2", 5000))
+
+    rig.sim.process(server(rig.sim))
+    rig.sim.process(client(rig.sim))
+    rig.run(until=5.0)
+    assert observed["ready"][0][1] == EPOLLIN
+    assert "accepted" in observed
+
+
+def test_epoll_level_triggered_immediate():
+    rig, api_a, api_b = make_kernel_apis()
+    out = {}
+
+    def server(sim):
+        fd = yield api_b.socket()
+        yield api_b.bind(fd, 5000)
+        yield api_b.listen(fd)
+        conn = yield api_b.accept(fd)
+        yield sim.timeout(1.0)  # data has already arrived by now
+        epoll = Epoll(sim, api_b)
+        epoll.register(conn)
+        waited_at = sim.now
+        ready = yield epoll.wait()
+        out["delay"] = sim.now - waited_at
+
+    def client(sim):
+        fd = yield api_a.socket()
+        yield api_a.connect(fd, Endpoint("10.0.0.2", 5000))
+        yield api_a.send(fd, 100)
+
+    rig.sim.process(server(rig.sim))
+    rig.sim.process(client(rig.sim))
+    rig.run(until=5.0)
+    assert out["delay"] == 0.0
+
+
+def test_epoll_unregister_and_empty_wait():
+    rig, _api_a, api_b = make_kernel_apis()
+    epoll = Epoll(rig.sim, api_b)
+    with pytest.raises(RuntimeError):
+        epoll.wait()
+    with pytest.raises(BadFileDescriptor):
+        epoll.unregister(3)
+    with pytest.raises(ValueError):
+        epoll.register(3, events=0x4)

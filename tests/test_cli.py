@@ -1,0 +1,42 @@
+"""CLI: parsing, dispatch, and one real regeneration."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "figure4" in out and "ablation" in out
+
+
+def test_table1_command_prints_table(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "809" in out and "8ns" in out
+
+
+def test_micro_command(capsys):
+    assert main(["micro"]) == 0
+    assert "12.0 ns" in capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_ablation():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["ablation", "nonsense"])
+
+
+def test_figure5_seed_argument():
+    args = build_parser().parse_args(["figure5", "--seeds", "7", "8"])
+    assert args.seeds == [7, 8]
+
+
+def test_figure4_duration_argument():
+    args = build_parser().parse_args(["figure4", "--duration", "0.2"])
+    assert args.duration == 0.2

@@ -1,0 +1,47 @@
+"""Smoke tests for the example scripts: they import cleanly and the fast
+ones run end to end (stdout checked for their headline outputs)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "quickstart",
+        "windows_bbr_wan",
+        "multi_tenant_sla",
+        "container_stacks",
+        "failure_detection",
+        "zero_queue_fabric",
+    ],
+)
+def test_example_imports(name):
+    module = load_example(name)
+    assert callable(module.main)
+
+
+@pytest.mark.slow
+def test_quickstart_runs(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "goodput" in out and "Gbps" in out
+
+
+@pytest.mark.slow
+def test_failure_detection_runs(capsys):
+    load_example("failure_detection").main()
+    out = capsys.readouterr().out
+    assert "localization : ['host2']" in out

@@ -1,0 +1,113 @@
+"""Trumpet-style trigger engine over NSM stack counters."""
+
+import pytest
+
+from repro.apps import BulkReceiver, BulkSender
+from repro.experiments.common import make_lan_testbed
+from repro.mgmt import Signal, Trigger, TriggerEngine
+from repro.net import Endpoint
+from repro.netkernel import NsmSpec
+
+
+def make_loaded_rig():
+    testbed = make_lan_testbed()
+    nsm_tx = testbed.hypervisor_a.boot_nsm(NsmSpec())
+    nsm_rx = testbed.hypervisor_b.boot_nsm(NsmSpec())
+    vm_tx = testbed.hypervisor_a.boot_netkernel_vm("t", nsm_tx)
+    vm_rx = testbed.hypervisor_b.boot_netkernel_vm("s", nsm_rx, vcpus=4)
+    BulkReceiver(testbed.sim, vm_rx.api, 5000)
+    BulkSender(testbed.sim, vm_tx.api, Endpoint(vm_rx.api.ip, 5000))
+    return testbed, nsm_tx, nsm_rx
+
+
+def test_egress_rate_trigger_fires_under_load():
+    testbed, nsm_tx, _ = make_loaded_rig()
+    engine = TriggerEngine(testbed.sim, interval=0.01)
+    engine.install(
+        Trigger("hot-tenant", nsm_tx, Signal.EGRESS_BPS, threshold=1e9)
+    )
+    testbed.sim.run(until=0.2)
+    events = engine.events_for("hot-tenant")
+    assert events
+    assert all(event.value > 1e9 for event in events)
+
+
+def test_trigger_quiet_below_threshold():
+    testbed, nsm_tx, _ = make_loaded_rig()
+    engine = TriggerEngine(testbed.sim, interval=0.01)
+    engine.install(
+        Trigger("impossible", nsm_tx, Signal.EGRESS_BPS, threshold=1e15)
+    )
+    testbed.sim.run(until=0.2)
+    assert engine.events_for("impossible") == []
+
+
+def test_trigger_cooldown_limits_rate():
+    testbed, nsm_tx, _ = make_loaded_rig()
+    engine = TriggerEngine(testbed.sim, interval=0.01)
+    engine.install(
+        Trigger("hot", nsm_tx, Signal.EGRESS_BPS, threshold=1e9, cooldown=0.05)
+    )
+    testbed.sim.run(until=0.3)
+    events = engine.events_for("hot")
+    for first, second in zip(events, events[1:]):
+        assert second.at - first.at >= 0.05 - 1e-9
+
+
+def test_below_threshold_direction():
+    testbed, nsm_tx, _ = make_loaded_rig()
+    engine = TriggerEngine(testbed.sim, interval=0.05)
+    engine.install(
+        Trigger(
+            "starving", nsm_tx, Signal.EGRESS_BPS, threshold=1e6, above=False,
+            cooldown=0.0,
+        )
+    )
+    testbed.sim.run(until=0.3)
+    # Fires only in the earliest sweeps, before the flow ramps past 1 Mbps.
+    events = engine.events_for("starving")
+    assert all(event.at < 0.15 for event in events)
+
+
+def test_connection_count_signal():
+    testbed, nsm_tx, _ = make_loaded_rig()
+    engine = TriggerEngine(testbed.sim, interval=0.01)
+    engine.install(
+        Trigger("anyconn", nsm_tx, Signal.ACTIVE_CONNECTIONS, threshold=0.5)
+    )
+    testbed.sim.run(until=0.1)
+    assert engine.events_for("anyconn")
+
+
+def test_callback_invoked():
+    testbed, nsm_tx, _ = make_loaded_rig()
+    engine = TriggerEngine(testbed.sim, interval=0.01)
+    engine.install(Trigger("cb", nsm_tx, Signal.EGRESS_BPS, threshold=1e9))
+    seen = []
+    engine.on_event = seen.append
+    testbed.sim.run(until=0.2)
+    assert seen and seen[0].trigger == "cb"
+
+
+def test_duplicate_trigger_name_rejected():
+    testbed, nsm_tx, _ = make_loaded_rig()
+    engine = TriggerEngine(testbed.sim)
+    engine.install(Trigger("x", nsm_tx, Signal.EGRESS_BPS, threshold=1))
+    with pytest.raises(ValueError):
+        engine.install(Trigger("x", nsm_tx, Signal.EGRESS_BPS, threshold=2))
+
+
+def test_remove_trigger_stops_events():
+    testbed, nsm_tx, _ = make_loaded_rig()
+    engine = TriggerEngine(testbed.sim, interval=0.01)
+    engine.install(Trigger("gone", nsm_tx, Signal.EGRESS_BPS, threshold=1e9))
+    testbed.sim.run(until=0.1)
+    count = len(engine.events_for("gone"))
+    engine.remove("gone")
+    testbed.sim.run(until=0.3)
+    assert len(engine.events_for("gone")) == count
+
+
+def test_engine_validates_interval(sim):
+    with pytest.raises(ValueError):
+        TriggerEngine(sim, interval=0)

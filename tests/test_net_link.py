@@ -1,0 +1,152 @@
+"""Link behaviour: serialization, propagation, queueing, drops, ECN."""
+
+import pytest
+
+from repro.net import DropTailQueue, DuplexLink, IIDLoss, Link, Packet
+from repro.sim import Simulator
+
+
+def make_packet(size, ecn=False):
+    return Packet(src="a", dst="b", payload_bytes=size, ecn_capable=ecn)
+
+
+def test_link_delivers_after_serialization_and_propagation(sim):
+    arrivals = []
+    link = Link(
+        sim,
+        rate_bps=8e6,  # 1 MB/s
+        propagation_delay=0.5,
+        deliver=lambda p: arrivals.append(sim.now),
+    )
+    packet = make_packet(1448)
+    link.send(packet)
+    sim.run()
+    expected = packet.wire_bytes() * 8 / 8e6 + 0.5
+    assert arrivals == [pytest.approx(expected)]
+
+
+def test_link_serializes_back_to_back(sim):
+    arrivals = []
+    link = Link(
+        sim, rate_bps=8e6, propagation_delay=0.0,
+        deliver=lambda p: arrivals.append(sim.now),
+    )
+    packet = make_packet(1448)
+    tx_time = packet.wire_bytes() * 8 / 8e6
+    link.send(make_packet(1448))
+    link.send(make_packet(1448))
+    sim.run()
+    assert arrivals == [pytest.approx(tx_time), pytest.approx(2 * tx_time)]
+
+
+def test_link_queue_overflow_drops(sim):
+    delivered = []
+    link = Link(
+        sim, rate_bps=1e3, propagation_delay=0.0,
+        deliver=lambda p: delivered.append(p), queue_bytes=3000,
+    )
+    for _ in range(10):
+        link.send(make_packet(1448))
+    sim.run(until=1000)
+    assert link.stats.dropped_overflow > 0
+    assert len(delivered) + link.stats.dropped_overflow == 10
+
+
+def test_link_random_loss_counted(sim):
+    delivered = []
+    link = Link(
+        sim, rate_bps=1e9, propagation_delay=0.0,
+        deliver=lambda p: delivered.append(p), loss=IIDLoss(1.0),
+    )
+    link.send(make_packet(100))
+    sim.run()
+    assert delivered == []
+    assert link.stats.dropped_random == 1
+
+
+def test_link_stats_count_bytes(sim):
+    link = Link(sim, rate_bps=1e9, propagation_delay=0.0, deliver=lambda p: None)
+    link.send(make_packet(1000))
+    sim.run()
+    assert link.stats.tx_packets == 1
+    assert link.stats.tx_bytes == 1000
+    assert link.stats.tx_wire_bytes > 1000
+
+
+def test_link_without_receiver_raises(sim):
+    link = Link(sim, rate_bps=1e9, propagation_delay=0.0)
+    link.send(make_packet(10))
+    with pytest.raises(RuntimeError):
+        sim.run()
+
+
+def test_link_validates_parameters(sim):
+    with pytest.raises(ValueError):
+        Link(sim, rate_bps=0, propagation_delay=0.0)
+    with pytest.raises(ValueError):
+        Link(sim, rate_bps=1e9, propagation_delay=-1.0)
+
+
+# ------------------------------------------------------------- DropTailQueue --
+def test_droptail_accepts_first_packet_even_if_oversized():
+    queue = DropTailQueue(capacity_bytes=100)
+    assert queue.offer(make_packet(1000)) is True  # empty queue always accepts
+    assert queue.offer(make_packet(1)) is False
+
+
+def test_droptail_ecn_marks_above_threshold():
+    queue = DropTailQueue(capacity_bytes=10_000, ecn_threshold_bytes=1000)
+    first = make_packet(1000, ecn=True)
+    queue.offer(first)
+    assert not first.ecn_ce  # below threshold at enqueue time
+    second = make_packet(1000, ecn=True)
+    queue.offer(second)
+    assert second.ecn_ce  # backlog >= threshold
+
+
+def test_droptail_does_not_mark_non_ecn_packets():
+    queue = DropTailQueue(capacity_bytes=10_000, ecn_threshold_bytes=0)
+    packet = make_packet(1000, ecn=False)
+    queue.offer(packet)
+    assert not packet.ecn_ce
+
+
+def test_droptail_poll_order():
+    queue = DropTailQueue(capacity_bytes=10_000)
+    a, b = make_packet(10), make_packet(20)
+    queue.offer(a)
+    queue.offer(b)
+    assert queue.poll() is a
+    assert queue.poll() is b
+    assert queue.poll() is None
+
+
+def test_droptail_backlog_accounting():
+    queue = DropTailQueue(capacity_bytes=10_000)
+    queue.offer(make_packet(100))
+    queue.offer(make_packet(200))
+    assert queue.backlog_bytes == 300
+    queue.poll()
+    assert queue.backlog_bytes == 200
+
+
+# --------------------------------------------------------------- DuplexLink --
+def test_duplex_link_asymmetric_rates(sim):
+    fast, slow = [], []
+    link = DuplexLink(
+        sim, rate_bps=1e9, rate_bps_reverse=1e6, propagation_delay=0.0,
+    )
+    link.attach(lambda p: slow.append(sim.now), lambda p: fast.append(sim.now))
+    link.a_to_b.send(make_packet(1448))  # heard by b (fast direction)
+    link.b_to_a.send(make_packet(1448))  # heard by a (slow direction)
+    sim.run()
+    assert fast[0] < slow[0]
+
+
+def test_duplex_link_directions_are_independent(sim):
+    got_a, got_b = [], []
+    link = DuplexLink(sim, rate_bps=1e9, propagation_delay=0.001)
+    link.attach(lambda p: got_a.append(p), lambda p: got_b.append(p))
+    link.a_to_b.send(make_packet(10))
+    sim.run()
+    assert len(got_b) == 1 and len(got_a) == 0

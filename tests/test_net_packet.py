@@ -1,0 +1,68 @@
+"""Wire-accounting tests: framing overhead must produce ~37 Gbps on 40 GbE."""
+
+import pytest
+
+from repro.net import (
+    DEFAULT_MTU,
+    ETHERNET_FRAME_OVERHEAD,
+    IPV4_HEADER,
+    TCP_HEADER,
+    TCP_TIMESTAMP_OPTION,
+    Packet,
+    mss_for_mtu,
+    wire_bytes,
+)
+
+PER_FRAME = ETHERNET_FRAME_OVERHEAD + IPV4_HEADER + TCP_HEADER + TCP_TIMESTAMP_OPTION
+
+
+def test_mss_for_default_mtu():
+    assert mss_for_mtu(1500) == 1500 - 20 - 20 - 12 == 1448
+
+
+def test_empty_packet_occupies_one_frame():
+    packet = Packet(src="a", dst="b", payload_bytes=0)
+    assert packet.frames() == 1
+    assert packet.wire_bytes() == PER_FRAME
+
+
+def test_single_mss_payload_is_one_frame():
+    packet = Packet(src="a", dst="b", payload_bytes=1448)
+    assert packet.frames() == 1
+    assert packet.wire_bytes() == 1448 + PER_FRAME
+
+
+def test_one_byte_over_mss_needs_two_frames():
+    packet = Packet(src="a", dst="b", payload_bytes=1449)
+    assert packet.frames() == 2
+
+
+def test_tso_supersegment_counts_all_frames():
+    packet = Packet(src="a", dst="b", payload_bytes=65536)
+    expected_frames = -(-65536 // 1448)  # 46
+    assert packet.frames() == expected_frames
+    assert packet.wire_bytes() == 65536 + expected_frames * PER_FRAME
+
+
+def test_negative_payload_rejected():
+    with pytest.raises(ValueError):
+        Packet(src="a", dst="b", payload_bytes=-1)
+
+
+def test_wire_bytes_helper_matches_packet():
+    for size in (0, 1, 1448, 1449, 8192, 65536):
+        packet = Packet(src="a", dst="b", payload_bytes=size)
+        assert packet.wire_bytes() == wire_bytes(size)
+
+
+def test_goodput_ceiling_is_about_37_gbps():
+    """MTU-sized frames on 40 GbE yield the paper's ~37 Gbps goodput."""
+    payload = 1448
+    efficiency = payload / (payload + PER_FRAME)
+    goodput_gbps = 40.0 * efficiency
+    assert 37.0 < goodput_gbps < 38.2
+
+
+def test_packet_ids_are_unique():
+    ids = {Packet(src="a", dst="b", payload_bytes=0).packet_id for _ in range(100)}
+    assert len(ids) == 100

@@ -1,0 +1,138 @@
+"""Switch forwarding, NIC plumbing and addressing."""
+
+import pytest
+
+from repro.host.cpu import Core
+from repro.net import (
+    AddressAllocator,
+    EmbeddedSwitch,
+    Endpoint,
+    HostSwitch,
+    Packet,
+    PhysicalNIC,
+    VirtualNIC,
+    VirtualSwitch,
+)
+from repro.sim import Simulator
+
+
+def make_switch_with_two_nics(sim, cls=EmbeddedSwitch, **kwargs):
+    switch = cls(sim, **kwargs)
+    nic1 = VirtualNIC(sim, "10.0.0.1")
+    nic2 = VirtualNIC(sim, "10.0.0.2")
+    switch.attach(nic1)
+    switch.attach(nic2)
+    return switch, nic1, nic2
+
+
+def test_switch_forwards_between_local_nics(sim):
+    switch, nic1, nic2 = make_switch_with_two_nics(sim)
+    got = []
+    nic2.rx_handler = got.append
+    nic1.transmit(Packet(src="10.0.0.1", dst="10.0.0.2", payload_bytes=100))
+    sim.run()
+    assert len(got) == 1
+    assert switch.forwarded == 1
+
+
+def test_switch_duplicate_ip_rejected(sim):
+    switch = EmbeddedSwitch(sim)
+    switch.attach(VirtualNIC(sim, "10.0.0.1"))
+    with pytest.raises(ValueError):
+        switch.attach(VirtualNIC(sim, "10.0.0.1"))
+
+
+def test_switch_unknown_destination_goes_to_uplink(sim):
+    switch, nic1, _nic2 = make_switch_with_two_nics(sim)
+    pnic = PhysicalNIC(sim, "10.0.255.1")
+    wired = []
+    pnic.wire = wired.append
+    switch.set_uplink(pnic)
+    nic1.transmit(Packet(src="10.0.0.1", dst="99.9.9.9", payload_bytes=10))
+    sim.run()
+    assert len(wired) == 1
+    assert switch.uplinked == 1
+
+
+def test_switch_wire_ingress_reaches_local_nic(sim):
+    switch, nic1, _ = make_switch_with_two_nics(sim)
+    pnic = PhysicalNIC(sim, "10.0.255.1")
+    switch.set_uplink(pnic)
+    got = []
+    nic1.rx_handler = got.append
+    pnic.wire_receive(Packet(src="远", dst="10.0.0.1", payload_bytes=5))
+    sim.run()
+    assert len(got) == 1
+
+
+def test_switch_drops_unroutable_from_wire(sim):
+    switch, *_ = make_switch_with_two_nics(sim)
+    pnic = PhysicalNIC(sim, "10.0.255.1")
+    switch.set_uplink(pnic)
+    pnic.wire_receive(Packet(src="x", dst="42.0.0.1", payload_bytes=5))
+    sim.run()  # silently dropped, no error
+
+
+def test_virtual_switch_charges_hypervisor_cpu(sim):
+    core = Core(sim, "hyp")
+    switch = VirtualSwitch(sim, core=core, per_packet_cpu_ns=1000)
+    nic1 = VirtualNIC(sim, "10.0.0.1")
+    nic2 = VirtualNIC(sim, "10.0.0.2")
+    switch.attach(nic1)
+    switch.attach(nic2)
+    nic2.rx_handler = lambda p: None
+    nic1.transmit(Packet(src="10.0.0.1", dst="10.0.0.2", payload_bytes=1))
+    sim.run()
+    assert core.busy_seconds == pytest.approx(1000e-9)
+
+
+def test_embedded_switch_uses_no_cpu(sim):
+    switch, nic1, nic2 = make_switch_with_two_nics(sim)
+    nic2.rx_handler = lambda p: None
+    nic1.transmit(Packet(src="10.0.0.1", dst="10.0.0.2", payload_bytes=1))
+    sim.run()
+    assert switch.core is None
+
+
+def test_detach_removes_forwarding(sim):
+    switch, nic1, nic2 = make_switch_with_two_nics(sim)
+    got = []
+    nic2.rx_handler = got.append
+    switch.detach(nic2)
+    nic1.transmit(Packet(src="10.0.0.1", dst="10.0.0.2", payload_bytes=1))
+    sim.run()
+    assert got == []
+
+
+def test_nic_transmit_without_attachment_raises(sim):
+    nic = VirtualNIC(sim, "10.0.0.9")
+    with pytest.raises(RuntimeError):
+        nic.transmit(Packet(src="a", dst="b", payload_bytes=0))
+
+
+def test_nic_counters(sim):
+    switch, nic1, nic2 = make_switch_with_two_nics(sim)
+    nic2.rx_handler = lambda p: None
+    nic1.transmit(Packet(src="10.0.0.1", dst="10.0.0.2", payload_bytes=500))
+    sim.run()
+    assert nic1.tx_packets == 1 and nic1.tx_bytes == 500
+    assert nic2.rx_packets == 1 and nic2.rx_bytes == 500
+
+
+# ---------------------------------------------------------------- addressing --
+def test_address_allocator_unique():
+    alloc = AddressAllocator("10.5")
+    addresses = [alloc.allocate() for _ in range(600)]
+    assert len(set(addresses)) == 600
+    assert all(addr.startswith("10.5.") for addr in addresses)
+
+
+def test_address_allocator_validates_prefix():
+    with pytest.raises(ValueError):
+        AddressAllocator("300.1")
+    with pytest.raises(ValueError):
+        AddressAllocator("10")
+
+
+def test_endpoint_str():
+    assert str(Endpoint("1.2.3.4", 80)) == "1.2.3.4:80"

@@ -1,0 +1,70 @@
+"""Packet tracing: taps, filters, rendering."""
+
+import pytest
+
+from repro.net import Endpoint, PacketTrace
+
+from conftest import make_linked_stacks, transfer
+
+
+def test_trace_captures_handshake_and_data():
+    rig = make_linked_stacks()
+    trace = PacketTrace()
+    trace.tap_duplex(rig.link)
+    transfer(rig, total_bytes=10_000)
+    assert len(trace) > 0
+    assert trace.count("S ") >= 1 or trace.count("SA") >= 1  # SYN visible
+    assert trace.total_payload_bytes() >= 10_000
+
+
+def test_trace_port_filter():
+    rig = make_linked_stacks()
+    trace = PacketTrace(port=5000)
+    other = PacketTrace(port=9999)
+    trace.tap_duplex(rig.link)
+    other.tap_duplex(rig.link)
+    transfer(rig, total_bytes=5_000)
+    assert len(trace) > 0
+    assert len(other) == 0
+
+
+def test_trace_predicate_filter():
+    rig = make_linked_stacks()
+    trace = PacketTrace(predicate=lambda p: p.payload_bytes > 0)
+    trace.tap_duplex(rig.link)
+    transfer(rig, total_bytes=5_000)
+    assert all(e.payload_bytes > 0 for e in trace.entries)
+
+
+def test_trace_overflow_counts_drops():
+    rig = make_linked_stacks()
+    trace = PacketTrace(max_entries=5)
+    trace.tap_duplex(rig.link)
+    transfer(rig, total_bytes=100_000)
+    assert len(trace) == 5
+    assert trace.dropped_overflow > 0
+
+
+def test_trace_text_renders():
+    rig = make_linked_stacks()
+    trace = PacketTrace()
+    trace.tap_duplex(rig.link)
+    transfer(rig, total_bytes=1_000)
+    text = trace.text(limit=3)
+    assert "10.0.0.1 > 10.0.0.2" in text
+    assert "ms" in text
+
+
+def test_trace_between_window():
+    rig = make_linked_stacks()
+    trace = PacketTrace()
+    trace.tap_duplex(rig.link)
+    transfer(rig, total_bytes=10_000)
+    end = rig.sim.now
+    assert len(trace.between(0.0, end + 1)) == len(trace)
+    assert trace.between(end + 1, end + 2) == []
+
+
+def test_trace_validates():
+    with pytest.raises(ValueError):
+        PacketTrace(max_entries=0)

@@ -1,0 +1,119 @@
+"""Huge-page region: allocation accounting, backpressure, copy costs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.host import MemcpyModel
+from repro.host.cpu import Core
+from repro.netkernel import HugePageRegion
+from repro.sim import Simulator
+
+
+def make_region(sim, pages=2, page_size=4096):
+    return HugePageRegion(sim, MemcpyModel(), pages=pages, page_size=page_size)
+
+
+def test_alloc_and_free_accounting(sim):
+    region = make_region(sim)
+    chunk = region.try_alloc(1000)
+    assert chunk is not None
+    assert region.used == 1000
+    chunk.free()
+    assert region.used == 0
+
+
+def test_alloc_fails_when_full(sim):
+    region = make_region(sim)  # 8192 bytes
+    region.try_alloc(8000)
+    assert region.try_alloc(500) is None
+    assert region.alloc_failures == 1
+
+
+def test_blocking_alloc_waits_for_free(sim):
+    region = make_region(sim)
+    big = region.try_alloc(8000)
+    waiter = region.alloc(500)
+    assert not waiter.triggered
+    big.free()
+    assert waiter.triggered
+    assert waiter.value.size == 500
+
+
+def test_alloc_larger_than_region_rejected(sim):
+    region = make_region(sim)
+    with pytest.raises(ValueError):
+        region.alloc(100_000)
+
+
+def test_double_free_detected(sim):
+    region = make_region(sim)
+    chunk = region.try_alloc(100)
+    chunk.free()
+    with pytest.raises(RuntimeError):
+        chunk.free()
+
+
+def test_cross_region_free_rejected(sim):
+    region_a = make_region(sim)
+    region_b = make_region(sim)
+    chunk = region_a.try_alloc(100)
+    with pytest.raises(ValueError):
+        region_b.free(chunk)
+
+
+def test_peak_usage_tracked(sim):
+    region = make_region(sim)
+    a = region.try_alloc(3000)
+    b = region.try_alloc(3000)
+    a.free()
+    b.free()
+    assert region.peak_used == 6000
+
+
+def test_copy_charges_core_with_table1_costs(sim):
+    region = make_region(sim, pages=40, page_size=2 * 1024 * 1024)
+    core = Core(sim, "c")
+    region.copy(core, 8192, chunk_size=8192)
+    sim.run()
+    assert core.busy_seconds == pytest.approx(809e-9)
+
+
+def test_copy_splits_into_chunks(sim):
+    region = make_region(sim, pages=40, page_size=2 * 1024 * 1024)
+    core = Core(sim, "c")
+    region.copy(core, 3 * 8192 + 64, chunk_size=8192)
+    sim.run()
+    assert core.busy_seconds == pytest.approx(3 * 809e-9 + 8e-9)
+
+
+def test_copy_zero_bytes_free(sim):
+    region = make_region(sim)
+    core = Core(sim, "c")
+    region.copy(core, 0)
+    sim.run()
+    assert core.busy_seconds == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sizes=st.lists(st.integers(1, 2000), min_size=1, max_size=30),
+)
+def test_property_allocator_never_overcommits(sizes):
+    """Used bytes never exceed capacity; free returns exactly what alloc took."""
+    sim = Simulator()
+    region = HugePageRegion(sim, MemcpyModel(), pages=1, page_size=8192)
+    live = []
+    for size in sizes:
+        chunk = region.try_alloc(size)
+        assert region.used <= region.capacity
+        if chunk is not None:
+            live.append(chunk)
+        elif live:
+            victim = live.pop(0)
+            victim.free()
+    total_live = sum(c.size for c in live)
+    assert region.used == total_live
+    for chunk in live:
+        chunk.free()
+    assert region.used == 0

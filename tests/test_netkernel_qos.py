@@ -1,0 +1,171 @@
+"""Per-tenant QoS: token buckets, DRR scheduling, end-to-end rate caps."""
+
+import pytest
+
+from repro.netkernel import DrrScheduler, NsmSpec, QosPolicy, TokenBucket
+from repro.sim import Simulator
+
+
+# ----------------------------------------------------------------- TokenBucket --
+def test_bucket_immediate_within_burst(sim):
+    bucket = TokenBucket(sim, rate_bps=8e6, burst_bytes=100_000)
+    taken = bucket.take(50_000)
+    assert taken.triggered
+
+
+def test_bucket_blocks_until_refill(sim):
+    bucket = TokenBucket(sim, rate_bps=8e6, burst_bytes=65536)  # 1 MB/s
+    bucket.take(65536)  # drain the burst
+    fired = []
+    bucket.take(100_000).add_callback(lambda ev: fired.append(sim.now))
+    sim.run(until=0.05)
+    assert fired == []
+    sim.run(until=0.2)
+    assert len(fired) == 1
+    assert fired[0] == pytest.approx(0.1, rel=0.05)  # 100 KB at 1 MB/s
+
+
+def test_bucket_serves_waiters_fifo(sim):
+    bucket = TokenBucket(sim, rate_bps=8e6, burst_bytes=65536)
+    bucket.take(65536)
+    order = []
+    bucket.take(200_000).add_callback(lambda ev: order.append("big"))
+    bucket.take(100).add_callback(lambda ev: order.append("small"))
+    sim.run(until=1.0)
+    assert order == ["big", "small"]  # no starvation of the large request
+
+
+def test_bucket_sustained_rate(sim):
+    bucket = TokenBucket(sim, rate_bps=80e6, burst_bytes=65536)  # 10 MB/s
+    done = {}
+
+    def pump(sim):
+        total = 0
+        while total < 10_000_000:
+            yield bucket.take(65536)
+            total += 65536
+        done["at"] = sim.now
+
+    sim.process(pump(sim))
+    sim.run(until=10.0)
+    # 10 MB at 10 MB/s ~ 1 s (minus one initial burst).
+    assert done["at"] == pytest.approx(1.0, rel=0.05)
+
+
+def test_bucket_validates(sim):
+    with pytest.raises(ValueError):
+        TokenBucket(sim, rate_bps=0)
+    bucket = TokenBucket(sim, rate_bps=1e6)
+    with pytest.raises(ValueError):
+        bucket.take(-1)
+
+
+# --------------------------------------------------------------------- DRR --
+def test_drr_round_robins_equal_weights():
+    drr = DrrScheduler(quantum=10.0)
+    for i in range(3):
+        drr.push("a", f"a{i}", cost=10.0)
+        drr.push("b", f"b{i}", cost=10.0)
+    order = [drr.pop() for _ in range(6)]
+    a_positions = [i for i, item in enumerate(order) if item.startswith("a")]
+    b_positions = [i for i, item in enumerate(order) if item.startswith("b")]
+    # Interleaved, not a-a-a-b-b-b.
+    assert max(a_positions) - min(a_positions) > 1 or len(order) < 4
+    assert sorted(order) == ["a0", "a1", "a2", "b0", "b1", "b2"]
+    assert abs(sum(a_positions) - sum(b_positions)) <= 3
+
+
+def test_drr_weights_bias_service():
+    drr = DrrScheduler(quantum=10.0)
+    drr.set_weight("heavy", 3.0)
+    drr.set_weight("light", 1.0)
+    for i in range(40):
+        drr.push("heavy", ("heavy", i), cost=10.0)
+        drr.push("light", ("light", i), cost=10.0)
+    first_20 = [drr.pop() for _ in range(20)]
+    heavy_served = sum(1 for item in first_20 if item[0] == "heavy")
+    assert heavy_served >= 12  # ~3:1 service ratio
+
+
+def test_drr_empty_pop_returns_none():
+    assert DrrScheduler().pop() is None
+
+
+def test_drr_len_counts_all_queues():
+    drr = DrrScheduler()
+    drr.push("a", 1)
+    drr.push("b", 2)
+    assert len(drr) == 2
+
+
+def test_drr_oversized_item_still_served():
+    drr = DrrScheduler(quantum=1.0)
+    drr.push("a", "giant", cost=1e9)
+    assert drr.pop() == "giant"
+
+
+def test_drr_validates():
+    with pytest.raises(ValueError):
+        DrrScheduler(quantum=0)
+    with pytest.raises(ValueError):
+        DrrScheduler().set_weight("a", 0)
+
+
+# --------------------------------------------------------------------- policy --
+def test_qos_policy_validates_scheduling():
+    with pytest.raises(ValueError):
+        QosPolicy(scheduling="magic")
+
+
+def test_qos_policy_registers_tenants():
+    policy = QosPolicy(scheduling="drr")
+    policy.set_tenant(1, weight=2.0, rate_limit_bps=1e9)
+    assert policy.weights[1] == 2.0
+    assert policy.rate_limits_bps[1] == 1e9
+
+
+# ----------------------------------------------------------------- end to end --
+@pytest.mark.slow
+def test_rate_cap_enforced_end_to_end():
+    from repro.experiments.ablation_qos import measure_rate_cap
+
+    measured = measure_rate_cap(cap_bps=8e9, duration=0.25, warmup=0.08)
+    assert measured == pytest.approx(8.0, rel=0.05)
+
+
+@pytest.mark.slow
+def test_uncapped_tenant_exceeds_cap_level():
+    from repro.experiments.ablation_qos import measure_rate_cap
+    from repro.apps import BulkReceiver, BulkSender
+    from repro.experiments.common import make_lan_testbed
+    from repro.net import Endpoint
+
+    testbed = make_lan_testbed()
+    sim = testbed.sim
+    nsm_tx = testbed.hypervisor_a.boot_nsm(NsmSpec())
+    nsm_rx = testbed.hypervisor_b.boot_nsm(NsmSpec())
+    vm_tx = testbed.hypervisor_a.boot_netkernel_vm("t", nsm_tx)
+    vm_rx = testbed.hypervisor_b.boot_netkernel_vm("s", nsm_rx, vcpus=4)
+    receiver = BulkReceiver(sim, vm_rx.api, 5000, warmup=0.08)
+    BulkSender(sim, vm_tx.api, Endpoint(vm_rx.api.ip, 5000))
+    sim.run(until=0.25)
+    assert receiver.meter.bps(until=0.25) / 1e9 > 15.0
+
+
+def test_drr_mode_nsm_still_moves_traffic():
+    from repro.experiments.common import make_lan_testbed
+    from repro.apps import BulkReceiver, BulkSender
+    from repro.net import Endpoint
+
+    testbed = make_lan_testbed()
+    sim = testbed.sim
+    nsm_tx = testbed.hypervisor_a.boot_nsm(
+        NsmSpec(qos=QosPolicy(scheduling="drr"), max_tenants=2)
+    )
+    nsm_rx = testbed.hypervisor_b.boot_nsm(NsmSpec())
+    vm_tx = testbed.hypervisor_a.boot_netkernel_vm("t", nsm_tx, qos_weight=2.0)
+    vm_rx = testbed.hypervisor_b.boot_netkernel_vm("s", nsm_rx, vcpus=4)
+    receiver = BulkReceiver(sim, vm_rx.api, 5000)
+    BulkSender(sim, vm_tx.api, Endpoint(vm_rx.api.ip, 5000), total_bytes=2_000_000)
+    sim.run(until=2.0)
+    assert receiver.meter.bytes == 2_000_000

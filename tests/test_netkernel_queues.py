@@ -1,0 +1,177 @@
+"""nqe rings: FIFO, capacity backpressure, doorbells, priority classes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netkernel import Nqe, NqeOp, NqeRing, PriorityNqeRing
+from repro.netkernel.nqe import CONNECTION_EVENT_OPS
+from repro.sim import Simulator
+
+
+def data_nqe():
+    return Nqe(op=NqeOp.DATA, vm_id=1, fd=3)
+
+
+def conn_nqe(op=NqeOp.CONNECT):
+    return Nqe(op=op, vm_id=1, fd=3)
+
+
+def test_ring_fifo(sim):
+    ring = NqeRing(sim)
+    first, second = data_nqe(), data_nqe()
+    ring.push(first)
+    ring.push(second)
+    assert ring.try_pop() is first
+    assert ring.try_pop() is second
+    assert ring.try_pop() is None
+
+
+def test_ring_capacity_backpressures(sim):
+    ring = NqeRing(sim, capacity=1)
+    ring.push(data_nqe())
+    blocked = ring.push(data_nqe())
+    assert not blocked.triggered
+    ring.try_pop()
+    assert blocked.triggered
+
+
+def test_ring_try_push(sim):
+    ring = NqeRing(sim, capacity=1)
+    assert ring.try_push(data_nqe())
+    assert not ring.try_push(data_nqe())
+
+
+def test_ring_doorbell_fires_on_push(sim):
+    ring = NqeRing(sim)
+    doorbell = ring.wait_nonempty()
+    assert not doorbell.triggered
+    ring.push(data_nqe())
+    assert doorbell.triggered
+
+
+def test_ring_doorbell_immediate_when_nonempty(sim):
+    ring = NqeRing(sim)
+    ring.push(data_nqe())
+    assert ring.wait_nonempty().triggered
+
+
+def test_ring_pop_batch_limits(sim):
+    ring = NqeRing(sim)
+    for _ in range(10):
+        ring.push(data_nqe())
+    assert len(ring.pop_batch(max_items=4)) == 4
+    assert len(ring) == 6
+
+
+def test_ring_counters_and_watermark(sim):
+    ring = NqeRing(sim)
+    for _ in range(5):
+        ring.push(data_nqe())
+    ring.pop_batch()
+    assert ring.total_pushed == 5
+    assert ring.total_popped == 5
+    assert ring.high_watermark == 5
+
+
+def test_ring_rejects_bad_capacity(sim):
+    with pytest.raises(ValueError):
+        NqeRing(sim, capacity=0)
+
+
+# ------------------------------------------------------------- priority ring --
+def test_priority_ring_serves_connection_events_first(sim):
+    ring = PriorityNqeRing(sim)
+    data = [data_nqe() for _ in range(3)]
+    for nqe in data:
+        ring.push(nqe)
+    connect = conn_nqe()
+    ring.push(connect)
+    assert ring.try_pop() is connect  # jumps the data backlog
+    assert ring.try_pop() is data[0]
+
+
+def test_priority_ring_fifo_within_class(sim):
+    ring = PriorityNqeRing(sim)
+    first, second = conn_nqe(NqeOp.CONNECT), conn_nqe(NqeOp.CLOSE)
+    ring.push(first)
+    ring.push(second)
+    assert ring.try_pop() is first
+    assert ring.try_pop() is second
+
+
+def test_priority_ring_length_spans_both_classes(sim):
+    ring = PriorityNqeRing(sim)
+    ring.push(data_nqe())
+    ring.push(conn_nqe())
+    assert len(ring) == 2
+
+
+def test_connection_event_classification():
+    assert Nqe(op=NqeOp.CONNECT).is_connection_event
+    assert Nqe(op=NqeOp.ACCEPT_EVENT).is_connection_event
+    assert not Nqe(op=NqeOp.DATA).is_connection_event
+    assert not Nqe(op=NqeOp.SEND).is_connection_event
+
+
+def test_completion_nqe_mirrors_request():
+    request = Nqe(op=NqeOp.BIND, vm_id=2, fd=7, nsm_id=1, cid=9, args=80)
+    completion = request.completion(result="ok")
+    assert completion.op is NqeOp.COMPLETION
+    assert completion.token == request.token
+    assert completion.vm_id == 2 and completion.fd == 7
+    assert completion.args is NqeOp.BIND
+    assert completion.result == "ok"
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ops=st.lists(
+        st.sampled_from([NqeOp.DATA, NqeOp.SEND, NqeOp.CONNECT, NqeOp.CLOSE]),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_priority_ring_is_stable_two_class_order(ops):
+    """Pop order == all connection events (FIFO) before data events (FIFO),
+    for any interleaving — given no interleaved pushes/pops."""
+    sim = Simulator()
+    ring = PriorityNqeRing(sim)
+    pushed = [Nqe(op=op) for op in ops]
+    for nqe in pushed:
+        ring.push(nqe)
+    popped = []
+    while True:
+        nqe = ring.try_pop()
+        if nqe is None:
+            break
+        popped.append(nqe)
+    expected = [n for n in pushed if n.is_connection_event] + [
+        n for n in pushed if not n.is_connection_event
+    ]
+    assert popped == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(count=st.integers(1, 60), capacity=st.integers(1, 10))
+def test_property_ring_conserves_elements_under_backpressure(count, capacity):
+    """Every pushed nqe is eventually popped exactly once, in order."""
+    sim = Simulator()
+    ring = NqeRing(sim, capacity=capacity)
+    pushed = [Nqe(op=NqeOp.DATA, token=i) for i in range(count)]
+    popped = []
+
+    def producer(sim):
+        for nqe in pushed:
+            yield ring.push(nqe)
+
+    def consumer(sim):
+        while len(popped) < count:
+            yield ring.wait_nonempty()
+            yield sim.timeout(0.001)
+            popped.extend(ring.pop_batch())
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run(until=120)
+    assert popped == pushed

@@ -1,0 +1,189 @@
+"""Unit and property tests for Store / Resource / Container."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Container, Resource, Simulator, Store
+
+
+# --------------------------------------------------------------------- Store --
+def test_store_fifo_order(sim):
+    store = Store(sim)
+    got = []
+
+    def producer(sim):
+        for i in range(5):
+            yield store.put(i)
+
+    def consumer(sim):
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_get_blocks_until_put(sim):
+    store = Store(sim)
+    times = []
+
+    def consumer(sim):
+        item = yield store.get()
+        times.append((sim.now, item))
+
+    def producer(sim):
+        yield sim.timeout(3.0)
+        yield store.put("late")
+
+    sim.process(consumer(sim))
+    sim.process(producer(sim))
+    sim.run()
+    assert times == [(3.0, "late")]
+
+
+def test_store_capacity_blocks_put(sim):
+    store = Store(sim, capacity=1)
+    progress = []
+
+    def producer(sim):
+        yield store.put("a")
+        progress.append(("a", sim.now))
+        yield store.put("b")
+        progress.append(("b", sim.now))
+
+    def consumer(sim):
+        yield sim.timeout(2.0)
+        yield store.get()
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert progress == [("a", 0.0), ("b", 2.0)]
+
+
+def test_store_try_put_and_try_get(sim):
+    store = Store(sim, capacity=1)
+    assert store.try_put(1) is True
+    assert store.try_put(2) is False
+    ok, item = store.try_get()
+    assert ok and item == 1
+    ok, item = store.try_get()
+    assert not ok and item is None
+
+
+def test_store_rejects_bad_capacity(sim):
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(items=st.lists(st.integers(), min_size=1, max_size=40))
+def test_store_preserves_order_property(items):
+    """Whatever goes in comes out in exactly the same order."""
+    sim = Simulator()
+    store = Store(sim, capacity=7)
+    out = []
+
+    def producer(sim):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(sim):
+        for _ in items:
+            value = yield store.get()
+            out.append(value)
+
+    sim.process(producer(sim))
+    sim.process(consumer(sim))
+    sim.run()
+    assert out == items
+
+
+# ------------------------------------------------------------------ Resource --
+def test_resource_grants_up_to_capacity(sim):
+    res = Resource(sim, capacity=2)
+    a = res.acquire()
+    b = res.acquire()
+    c = res.acquire()
+    assert a.triggered and b.triggered and not c.triggered
+    assert res.in_use == 2
+
+
+def test_resource_release_hands_to_waiter(sim):
+    res = Resource(sim, capacity=1)
+    res.acquire()
+    waiter = res.acquire()
+    assert not waiter.triggered
+    res.release()
+    assert waiter.triggered
+    assert res.in_use == 1  # handed over, not freed
+
+
+def test_resource_release_without_acquire_raises(sim):
+    res = Resource(sim)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_available_accounting(sim):
+    res = Resource(sim, capacity=3)
+    res.acquire()
+    assert res.available == 2
+
+
+# ----------------------------------------------------------------- Container --
+def test_container_put_then_get(sim):
+    box = Container(sim, capacity=100, init=10)
+    got = box.get(5)
+    assert got.triggered
+    assert box.level == 5
+
+
+def test_container_get_blocks_until_level(sim):
+    box = Container(sim, capacity=100)
+    fired = []
+    box.get(30).add_callback(lambda ev: fired.append(sim.now))
+    box.put(10)
+    sim.run()
+    assert fired == []
+    box.put(25)
+    sim.run()
+    assert fired == [0.0]
+    assert box.level == 5
+
+
+def test_container_clamps_at_capacity(sim):
+    box = Container(sim, capacity=10)
+    box.put(50)
+    assert box.level == 10
+
+
+def test_container_fifo_getters(sim):
+    box = Container(sim, capacity=100)
+    order = []
+    box.get(10).add_callback(lambda ev: order.append("first"))
+    box.get(1).add_callback(lambda ev: order.append("second"))
+    box.put(5)  # enough for second, but first is at the head
+    sim.run()
+    assert order == []
+    box.put(10)
+    sim.run()
+    assert order == ["first", "second"]
+
+
+def test_container_validates_arguments(sim):
+    with pytest.raises(ValueError):
+        Container(sim, capacity=0)
+    with pytest.raises(ValueError):
+        Container(sim, capacity=10, init=20)
+    box = Container(sim, capacity=10)
+    with pytest.raises(ValueError):
+        box.get(-1)
+    with pytest.raises(ValueError):
+        box.get(11)
+    with pytest.raises(ValueError):
+        box.put(-1)

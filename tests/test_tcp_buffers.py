@@ -1,0 +1,184 @@
+"""Send buffer, reassembly queue and receive buffer semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Simulator
+from repro.tcp import ReassemblyQueue, ReceiveBuffer, SendBuffer
+
+
+# ---------------------------------------------------------------- SendBuffer --
+def test_send_buffer_accepts_within_capacity(sim):
+    buf = SendBuffer(sim, capacity=100)
+    event = buf.write(60)
+    assert event.triggered
+    assert buf.backlog == 60
+
+
+def test_send_buffer_blocks_over_capacity(sim):
+    buf = SendBuffer(sim, capacity=100)
+    buf.write(80)
+    blocked = buf.write(50)
+    assert not blocked.triggered
+    buf.on_ack(40)
+    assert blocked.triggered
+    assert buf.backlog == 90
+
+
+def test_send_buffer_write_after_close_raises(sim):
+    buf = SendBuffer(sim, capacity=100)
+    buf.close()
+    with pytest.raises(RuntimeError):
+        buf.write(1)
+
+
+def test_send_buffer_blocked_writes_fifo(sim):
+    buf = SendBuffer(sim, capacity=100)
+    buf.write(100)
+    first = buf.write(10)
+    second = buf.write(10)
+    buf.on_ack(10)
+    assert first.triggered and not second.triggered
+
+
+def test_send_buffer_validates(sim):
+    with pytest.raises(ValueError):
+        SendBuffer(sim, capacity=0)
+    buf = SendBuffer(sim, capacity=10)
+    with pytest.raises(ValueError):
+        buf.write(-1)
+    with pytest.raises(ValueError):
+        buf.on_ack(-1)
+
+
+# ----------------------------------------------------------- ReassemblyQueue --
+def test_reassembly_in_order_advances():
+    rq = ReassemblyQueue(rcv_nxt=100)
+    assert rq.add(100, 50) == 50
+    assert rq.rcv_nxt == 150
+
+
+def test_reassembly_out_of_order_holds():
+    rq = ReassemblyQueue(rcv_nxt=0)
+    assert rq.add(100, 50) == 0
+    assert rq.out_of_order_bytes == 50
+    assert rq.add(0, 100) == 150  # fills the gap, releases everything
+    assert rq.rcv_nxt == 150
+    assert rq.out_of_order_bytes == 0
+
+
+def test_reassembly_duplicate_ignored():
+    rq = ReassemblyQueue(rcv_nxt=0)
+    rq.add(0, 100)
+    assert rq.add(0, 100) == 0
+    assert rq.add(50, 50) == 0
+
+
+def test_reassembly_partial_overlap():
+    rq = ReassemblyQueue(rcv_nxt=0)
+    rq.add(0, 100)
+    assert rq.add(50, 100) == 50
+    assert rq.rcv_nxt == 150
+
+
+def test_reassembly_sack_blocks_reflect_ooo():
+    rq = ReassemblyQueue(rcv_nxt=0)
+    rq.add(100, 50)
+    rq.add(200, 50)
+    blocks = rq.sack_blocks()
+    assert set(blocks) == {(100, 150), (200, 250)}
+
+
+def test_reassembly_sack_blocks_rotate_fresh_first():
+    rq = ReassemblyQueue(rcv_nxt=0)
+    for i in range(5):
+        rq.add(100 * (i + 1), 10)
+    rq.add(700, 10)  # freshest
+    blocks = rq.sack_blocks(limit=3)
+    assert blocks[0] == (700, 710)
+    assert len(blocks) == 3
+
+
+def test_reassembly_negative_length_rejected():
+    with pytest.raises(ValueError):
+        ReassemblyQueue().add(0, -1)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    segments=st.permutations(list(range(10))),
+)
+def test_property_reassembly_delivers_every_byte_once(segments):
+    """Segments arriving in any order release each byte exactly once."""
+    rq = ReassemblyQueue(rcv_nxt=0)
+    delivered = 0
+    for index in segments:
+        delivered += rq.add(index * 100, 100)
+    assert delivered == 1000
+    assert rq.rcv_nxt == 1000
+    assert rq.out_of_order_bytes == 0
+
+
+# -------------------------------------------------------------- ReceiveBuffer --
+def test_receive_buffer_read_blocks_until_data(sim):
+    buf = ReceiveBuffer(sim)
+    read = buf.read(100)
+    assert not read.triggered
+    buf.deliver(40)
+    assert read.triggered and read.value == 40
+
+
+def test_receive_buffer_partial_read(sim):
+    buf = ReceiveBuffer(sim)
+    buf.deliver(100)
+    read = buf.read(30)
+    assert read.value == 30
+    assert buf.available == 70
+
+
+def test_receive_buffer_eof_returns_zero(sim):
+    buf = ReceiveBuffer(sim)
+    buf.deliver_eof()
+    assert buf.read(10).value == 0
+
+
+def test_receive_buffer_drains_before_eof(sim):
+    buf = ReceiveBuffer(sim)
+    buf.deliver(5)
+    buf.deliver_eof()
+    assert buf.read(10).value == 5
+    assert buf.read(10).value == 0
+
+
+def test_receive_buffer_window_shrinks_with_backlog(sim):
+    buf = ReceiveBuffer(sim, capacity=1000)
+    assert buf.window() == 1000
+    buf.deliver(300)
+    assert buf.window() == 700
+    assert buf.window(out_of_order_bytes=200) == 500
+
+
+def test_receive_buffer_window_never_negative(sim):
+    buf = ReceiveBuffer(sim, capacity=100)
+    buf.deliver(150)
+    assert buf.window() == 0
+
+
+def test_receive_buffer_wait_readable(sim):
+    buf = ReceiveBuffer(sim)
+    watcher = buf.wait_readable()
+    assert not watcher.triggered
+    buf.deliver(1)
+    assert watcher.triggered
+    # Readable-now case fires immediately.
+    assert buf.wait_readable().triggered
+
+
+def test_receive_buffer_readers_fifo(sim):
+    buf = ReceiveBuffer(sim)
+    first = buf.read(10)
+    second = buf.read(10)
+    buf.deliver(15)
+    assert first.value == 10
+    assert second.value == 5

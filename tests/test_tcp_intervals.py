@@ -1,0 +1,142 @@
+"""Interval-set arithmetic: unit tests plus hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcp.intervals import IntervalSet
+
+
+def test_empty_set():
+    ivs = IntervalSet()
+    assert not ivs
+    assert ivs.total() == 0
+    assert ivs.max_end() == 0
+    assert list(ivs.holes(0, 10)) == [(0, 10)]
+
+
+def test_add_disjoint():
+    ivs = IntervalSet()
+    assert ivs.add(0, 10) == 10
+    assert ivs.add(20, 30) == 10
+    assert ivs.intervals() == [(0, 10), (20, 30)]
+    assert ivs.total() == 20
+
+
+def test_add_overlapping_merges():
+    ivs = IntervalSet()
+    ivs.add(0, 10)
+    assert ivs.add(5, 15) == 5  # only the new bytes count
+    assert ivs.intervals() == [(0, 15)]
+
+
+def test_add_adjacent_merges():
+    ivs = IntervalSet()
+    ivs.add(0, 10)
+    ivs.add(10, 20)
+    assert ivs.intervals() == [(0, 20)]
+
+
+def test_add_bridging_gap_merges_three():
+    ivs = IntervalSet()
+    ivs.add(0, 5)
+    ivs.add(10, 15)
+    assert ivs.add(3, 12) == 5
+    assert ivs.intervals() == [(0, 15)]
+
+
+def test_add_empty_range_is_noop():
+    ivs = IntervalSet()
+    assert ivs.add(5, 5) == 0
+    assert not ivs
+
+
+def test_covered():
+    ivs = IntervalSet()
+    ivs.add(10, 20)
+    ivs.add(30, 40)
+    assert ivs.covered(0, 50) == 20
+    assert ivs.covered(15, 35) == 10
+    assert ivs.covered(20, 30) == 0
+
+
+def test_contains():
+    ivs = IntervalSet()
+    ivs.add(10, 20)
+    assert ivs.contains(10, 20)
+    assert ivs.contains(12, 18)
+    assert not ivs.contains(5, 15)
+
+
+def test_holes():
+    ivs = IntervalSet()
+    ivs.add(10, 20)
+    ivs.add(30, 40)
+    assert list(ivs.holes(0, 50)) == [(0, 10), (20, 30), (40, 50)]
+    assert list(ivs.holes(10, 40)) == [(20, 30)]
+    assert list(ivs.holes(12, 18)) == []
+
+
+def test_trim_below():
+    ivs = IntervalSet()
+    ivs.add(0, 10)
+    ivs.add(20, 30)
+    ivs.trim_below(25)
+    assert ivs.intervals() == [(25, 30)]
+
+
+def test_trim_below_everything():
+    ivs = IntervalSet()
+    ivs.add(0, 10)
+    ivs.trim_below(100)
+    assert not ivs
+
+
+def test_first_raises_on_empty():
+    with pytest.raises(IndexError):
+        IntervalSet().first()
+
+
+ranges = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(1, 50)).map(
+        lambda t: (t[0], t[0] + t[1])
+    ),
+    min_size=0,
+    max_size=30,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ranges=ranges)
+def test_property_matches_reference_set(ranges):
+    """IntervalSet must agree with a naive per-integer reference model."""
+    ivs = IntervalSet()
+    reference = set()
+    for start, end in ranges:
+        newly = ivs.add(start, end)
+        added = set(range(start, end)) - reference
+        assert newly == len(added)
+        reference |= set(range(start, end))
+    assert ivs.total() == len(reference)
+    assert ivs.covered(0, 300) == len(reference)
+    # Intervals are sorted, disjoint, non-adjacent.
+    intervals = ivs.intervals()
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert e1 < s2
+    # Holes + coverage partition the probed span.
+    holes = list(ivs.holes(0, 300))
+    assert sum(e - s for s, e in holes) + ivs.covered(0, 300) == 300
+
+
+@settings(max_examples=100, deadline=None)
+@given(ranges=ranges, cutoff=st.integers(0, 250))
+def test_property_trim_below_matches_reference(ranges, cutoff):
+    ivs = IntervalSet()
+    reference = set()
+    for start, end in ranges:
+        ivs.add(start, end)
+        reference |= set(range(start, end))
+    ivs.trim_below(cutoff)
+    reference = {x for x in reference if x >= cutoff}
+    assert ivs.total() == len(reference)
+    assert ivs.covered(0, 300) == len(reference)

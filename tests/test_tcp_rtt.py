@@ -1,0 +1,81 @@
+"""RTT estimation and RTO behaviour (RFC 6298 + the Linux variance floor)."""
+
+import pytest
+
+from repro.tcp import RttEstimator
+
+
+def test_first_sample_initializes_srtt():
+    est = RttEstimator()
+    est.on_sample(0.1)
+    assert est.srtt == pytest.approx(0.1)
+    assert est.rttvar == pytest.approx(0.05)
+
+
+def test_ewma_converges_toward_stable_rtt():
+    est = RttEstimator()
+    for _ in range(100):
+        est.on_sample(0.2)
+    assert est.srtt == pytest.approx(0.2, rel=1e-3)
+
+
+def test_rto_floors_at_srtt_plus_min_rto():
+    est = RttEstimator(min_rto=0.2)
+    for _ in range(50):
+        est.on_sample(0.35)  # variance collapses
+    assert est.rto >= 0.35 + 0.2
+
+
+def test_rto_never_below_min_rto():
+    est = RttEstimator(min_rto=0.2)
+    est.on_sample(0.0001)
+    assert est.rto >= 0.2
+
+
+def test_backoff_doubles_rto():
+    est = RttEstimator()
+    est.on_sample(0.1)
+    base = est.rto
+    est.on_timeout()
+    assert est.rto == pytest.approx(2 * base)
+    est.on_timeout()
+    assert est.rto == pytest.approx(4 * base)
+
+
+def test_backoff_capped_at_max_rto():
+    est = RttEstimator(max_rto=1.0)
+    est.on_sample(0.4)
+    for _ in range(20):
+        est.on_timeout()
+    assert est.rto == 1.0
+
+
+def test_new_sample_resets_backoff():
+    est = RttEstimator()
+    est.on_sample(0.1)
+    est.on_timeout()
+    est.on_sample(0.1)
+    assert est.rto < 2 * (0.1 + est.min_rto) + 1e-9
+
+
+def test_min_rtt_tracked():
+    est = RttEstimator()
+    for rtt in (0.3, 0.1, 0.5, 0.2):
+        est.on_sample(rtt)
+    assert est.min_rtt == pytest.approx(0.1)
+    assert est.latest_rtt == pytest.approx(0.2)
+
+
+def test_initial_rto_before_samples():
+    est = RttEstimator(initial_rto=1.0)
+    assert est.rto == 1.0
+
+
+def test_validates_arguments():
+    with pytest.raises(ValueError):
+        RttEstimator(min_rto=0)
+    with pytest.raises(ValueError):
+        RttEstimator(min_rto=2.0, max_rto=1.0)
+    est = RttEstimator()
+    with pytest.raises(ValueError):
+        est.on_sample(0.0)
