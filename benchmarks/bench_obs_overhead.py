@@ -1,0 +1,67 @@
+"""Observability overhead: figure4 wall-clock with the tracer off / sampled / on.
+
+The repro.obs design target is that an *un-instrumented* run — tracer left
+at the NullTracer default — pays only inert ``tracer.enabled`` attribute
+checks on the hot paths.  This benchmark measures the wall-clock cost of
+the same figure4 datapath in three configurations and writes the result to
+``benchmarks/out/BENCH_obs_overhead.json`` so regressions show up in review.
+"""
+
+import json
+import pathlib
+import time
+
+from repro.experiments.figure4 import measure_lan_throughput
+from repro.obs import HeadSampler, Tracer, runtime
+
+from conftest import emit
+
+OUT = pathlib.Path(__file__).parent / "out" / "BENCH_obs_overhead.json"
+DURATION = 0.1
+REPEATS = 3
+
+
+def _wall_clock(make_tracer) -> float:
+    """Best-of-N wall seconds for one figure4 datapoint (1 flow)."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        tracer = make_tracer()
+        started = time.perf_counter()
+        measure_lan_throughput(
+            "netkernel", 1, duration=DURATION, warmup=DURATION * 0.25, tracer=tracer
+        )
+        best = min(best, time.perf_counter() - started)
+        runtime.reset()
+    return best
+
+
+def test_bench_obs_overhead(benchmark):
+    results = benchmark.pedantic(
+        lambda: {
+            "off": _wall_clock(lambda: None),
+            "sampled_1_in_64": _wall_clock(lambda: Tracer(sampler=HeadSampler(64))),
+            "full": _wall_clock(lambda: Tracer()),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    off = results["off"]
+    report = {
+        "duration_sim_s": DURATION,
+        "repeats": REPEATS,
+        "wall_s": results,
+        "relative_to_off": {k: round(v / off, 3) for k, v in results.items()},
+    }
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(json.dumps(report, indent=2) + "\n")
+
+    rows = [f"{'config':>16} {'wall':>8} {'vs off':>7}"]
+    for key, wall in results.items():
+        rows.append(f"{key:>16} {wall:>7.3f}s {wall / off:>6.2f}x")
+    emit("Observability overhead — figure4 datapath", "\n".join(rows))
+
+    # Full tracing costs something (it records ~10^5 spans); it must stay
+    # within an order of magnitude, and sampling must not cost more than
+    # full tracing by any meaningful margin.
+    assert results["full"] / off < 10.0
+    assert results["sampled_1_in_64"] <= results["full"] * 1.25

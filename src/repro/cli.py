@@ -7,6 +7,7 @@
     python -m repro micro
     python -m repro ablation {form,priority,notify,multiplex,
                               containers,qos,fastpass,connscale}
+    python -m repro trace figure4 --out trace.json   # cross-layer tracing
     python -m repro all                  # everything (several minutes)
 """
 
@@ -88,6 +89,75 @@ def run_all(args: argparse.Namespace) -> str:
     return "\n".join(sections)
 
 
+def run_trace(args: argparse.Namespace) -> str:
+    """Run one experiment datapath with the repro.obs tracer enabled."""
+    from . import obs
+    from .obs import runtime as obs_runtime
+
+    sampler = obs.HeadSampler(args.sample) if args.sample > 1 else None
+    tracer = obs.Tracer(sampler=sampler, cadence=args.cadence)
+    try:
+        if args.experiment == "figure4":
+            from .experiments.figure4 import measure_lan_throughput
+
+            duration = args.duration if args.duration is not None else 0.1
+            gbps = measure_lan_throughput(
+                "netkernel",
+                flows=args.flows,
+                duration=duration,
+                warmup=duration * 0.25,
+                tracer=tracer,
+            )
+            headline = (
+                f"figure4 (netkernel, {args.flows} flow(s), {duration}s sim): "
+                f"{gbps:.2f} Gbps"
+            )
+        else:  # figure5
+            from .experiments.figure5 import measure_wan_throughput
+            from .host.vm import GuestOS
+
+            duration = args.duration if args.duration is not None else 10.0
+            mbps = measure_wan_throughput(
+                "netkernel",
+                GuestOS.WINDOWS,
+                "bbr",
+                duration=duration,
+                warmup=duration * 0.125,
+                tracer=tracer,
+            )
+            headline = (
+                f"figure5 (BBR NSM, {duration}s sim): {mbps:.2f} Mbps"
+            )
+    finally:
+        # The factories installed the tracer process-wide; don't leak it
+        # into whatever the interpreter does next.
+        obs_runtime.reset()
+
+    obs.write_chrome_trace(tracer, args.out)
+    if args.summary_out:
+        obs.write_summary(tracer, args.summary_out)
+
+    report = obs.summary(tracer)
+    lines = [
+        headline,
+        f"chrome trace -> {args.out} (open in chrome://tracing or Perfetto)",
+    ]
+    if args.summary_out:
+        lines.append(f"summary -> {args.summary_out}")
+    lines.append(
+        f"spans: {report['spans']} recorded, {report['spans_dropped']} dropped; "
+        f"layers: {', '.join(report['spans_by_layer'])}"
+    )
+    lines.append(f"{'histogram (ns)':>28} {'count':>9} {'p50':>10} {'p99':>10} {'p999':>10}")
+    for name, hist in report["histograms_ns"].items():
+        if hist.get("count"):
+            lines.append(
+                f"{name:>28} {hist['count']:>9} {hist['p50']:>10.0f} "
+                f"{hist['p99']:>10.0f} {hist['p999']:>10.0f}"
+            )
+    return "\n".join(lines)
+
+
 def run_list(args: argparse.Namespace) -> str:
     lines = [
         "available artifacts:",
@@ -97,6 +167,8 @@ def run_list(args: argparse.Namespace) -> str:
         "  figure5    Figure 5: Windows VM + BBR NSM on the WAN path",
         "  ablation   §5 research-agenda ablations "
         f"({', '.join(sorted(_ABLATIONS))})",
+        "  trace      run figure4/figure5 with the repro.obs tracer on;"
+        " export a Chrome trace",
         "  all        everything above in sequence",
     ]
     return "\n".join(lines)
@@ -132,6 +204,25 @@ def build_parser() -> argparse.ArgumentParser:
     ablation = sub.add_parser("ablation", help="§5 ablations")
     ablation.add_argument("which", choices=sorted(_ABLATIONS))
     ablation.set_defaults(runner=run_ablation)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an experiment with cross-layer tracing (repro.obs)",
+    )
+    trace.add_argument("experiment", choices=["figure4", "figure5"])
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace_event JSON output path")
+    trace.add_argument("--summary-out", default=None,
+                       help="also write the flat summary dict as JSON")
+    trace.add_argument("--duration", type=float, default=None,
+                       help="seconds of simulated time (default 0.1 / 10)")
+    trace.add_argument("--flows", type=int, default=1,
+                       help="bulk flows (figure4 only)")
+    trace.add_argument("--sample", type=int, default=1, metavar="N",
+                       help="head-sample 1-in-N root spans (default: all)")
+    trace.add_argument("--cadence", type=float, default=None,
+                       help="counter snapshot interval in sim seconds")
+    trace.set_defaults(runner=run_trace)
 
     sub.add_parser("all", help="regenerate everything").set_defaults(
         runner=run_all

@@ -23,7 +23,25 @@ from ..net import (
     OffloadConfig,
 )
 from ..netkernel import CoreEngineConfig, Hypervisor
+from ..obs import runtime as obs_runtime
+from ..obs.spans import Tracer
 from ..sim import Simulator
+
+
+def _trace_sim(tracer: Optional[Tracer]) -> Simulator:
+    """Create the testbed simulator, wiring an optional tracer first.
+
+    The tracer must be installed *before* any component is constructed
+    (components capture the process-wide tracer at build time), and needs
+    the simulator for timestamps — so testbed factories route their
+    ``Simulator()`` call through here.
+    """
+    if tracer is not None:
+        obs_runtime.set_tracer(tracer)
+    sim = Simulator()
+    if tracer is not None:
+        tracer.attach(sim)
+    return sim
 
 __all__ = [
     "LanTestbed",
@@ -79,9 +97,10 @@ def make_lan_testbed(
     queue_bytes: int = 2 * 1024 * 1024,
     sriov: bool = True,
     coreengine_config: Optional[CoreEngineConfig] = None,
+    tracer: Optional[Tracer] = None,
 ) -> LanTestbed:
     """Two back-to-back hosts, as in the prototype testbed (§4.1)."""
-    sim = Simulator()
+    sim = _trace_sim(tracer)
     host_a = PhysicalHost(
         sim, "hostA", "10.1.255.1", sriov=sriov, addresses=AddressAllocator("10.1")
     )
@@ -125,13 +144,14 @@ def make_wan_testbed(
     queue_bytes: int = 96 * 1024,  # a shallow uplink-modem queue
     loss: Optional[LossModel] = None,
     seed: int = 1,
+    tracer: Optional[Tracer] = None,
 ) -> WanTestbed:
     """Figure 5's path: datacenter server -> transpacific WAN -> client.
 
     Loss applies on the server's uplink direction (where the data flows);
     the reverse (ACK) direction is clean — asymmetric, like the real path.
     """
-    sim = Simulator()
+    sim = _trace_sim(tracer)
     # No TSO super-segments on the WAN path: at 12 Mbps, Linux's TSO
     # autosizing degenerates to MTU-sized frames anyway.
     wan_offload = OffloadConfig(tso=False)
@@ -187,11 +207,12 @@ def make_cluster_testbed(
     propagation_delay: float = 5e-6,
     queue_bytes: int = 2 * 1024 * 1024,
     ecn_threshold_bytes: Optional[int] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ClusterTestbed:
     """A small cluster: every host uplinks into one core switch."""
     if n_hosts < 2:
         raise ValueError("a cluster needs at least 2 hosts")
-    sim = Simulator()
+    sim = _trace_sim(tracer)
     core = CoreSwitch(sim, ecn_threshold_bytes=ecn_threshold_bytes)
     hosts, hypervisors = [], []
     for index in range(n_hosts):

@@ -67,11 +67,12 @@ def measure_lan_throughput(
     duration: float = 0.35,
     warmup: float = 0.1,
     socket_buf: int = FIG4_SOCKET_BUF,
+    tracer=None,
 ) -> float:
     """Aggregate goodput (Gbps) of ``flows`` bulk flows on the LAN testbed."""
     if mode not in ("native", "netkernel"):
         raise ValueError(f"mode must be 'native' or 'netkernel', got {mode!r}")
-    testbed = make_lan_testbed()
+    testbed = make_lan_testbed(tracer=tracer)
     sim = testbed.sim
     overrides = {"rcvbuf": socket_buf, "sndbuf": socket_buf}
 

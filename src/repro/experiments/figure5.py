@@ -84,9 +84,10 @@ def measure_wan_throughput(
     warmup: float = 5.0,
     seed: int = 1,
     loss: Optional[LossModel] = None,
+    tracer=None,
 ) -> float:
     """Mean goodput (Mbps) of one sender configuration on the WAN path."""
-    testbed = make_wan_testbed(seed=seed, loss=loss)
+    testbed = make_wan_testbed(seed=seed, loss=loss, tracer=tracer)
     sim = testbed.sim
 
     # The California client: a plain Linux VM that sinks the stream.

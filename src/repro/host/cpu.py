@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..obs import runtime as obs_runtime
 from ..sim import Event, Simulator
 
 __all__ = ["Core", "CpuSet"]
@@ -34,11 +35,15 @@ class Core:
         #: True when a busy-poll loop owns this core: every otherwise-idle
         #: cycle is burned polling, so accounting reports it fully busy.
         self.busy_poll = False
+        self._tracer = obs_runtime.get_tracer()
+        self._traced = self._tracer.enabled
 
     def execute(self, cost_seconds: float) -> Event:
         """Enqueue ``cost_seconds`` of work; event fires at completion."""
         if cost_seconds < 0:
             raise ValueError("negative CPU cost")
+        if self._traced:
+            self._tracer.on_cpu(self.name, cost_seconds)
         now = self.sim.now
         start = max(now, self._busy_until)
         finish = start + cost_seconds

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..host.cpu import Core
+from ..obs import runtime as obs_runtime
 from ..sim import NANOS, Simulator
 from .conntable import ConnectionTable
 from .guestlib import GuestLib
@@ -86,6 +87,8 @@ class CoreEngine:
         self._nsms: Dict[int, _NsmQueues] = {}
         self._next_vm_id = 1
         self.nqes_copied = 0
+        self.tracer = obs_runtime.get_tracer()
+        self._traced = self.tracer.enabled
         if self.config.notify_mode is NotifyMode.POLLING:
             core.busy_poll = True
 
@@ -175,6 +178,26 @@ class CoreEngine:
         self.nqes_copied += 1
         return self.core.execute(self.config.nqe_copy_ns * NANOS)
 
+    def _begin_switch(self, nqe: Nqe, direction: str):
+        """Open the per-nqe switch span (pop -> forwarded push accepted).
+
+        Callers guard on ``self.tracer.enabled`` so the disabled datapath
+        pays one attribute check per nqe instead of two calls.
+        """
+        span = None
+        if nqe.span is not None:
+            span = nqe.span.child(f"coreengine.switch.{direction}", "coreengine")
+            if span is not None:
+                span.cpu(self.config.nqe_copy_ns)
+        return self.sim.now, span
+
+    def _end_switch(self, started, span) -> None:
+        tracer = self.tracer
+        tracer.count("coreengine.nqes_switched")
+        tracer.histogram("coreengine.switch_ns").record((self.sim.now - started) * 1e9)
+        if span is not None:
+            span.end()
+
     def _vm_job_mover(self, attachment: VmAttachment):
         """VM job queue -> NSM job queue (with fd -> cID mapping)."""
         vm_id = attachment.vm_id
@@ -183,80 +206,105 @@ class CoreEngine:
         while True:
             yield from self._consume(attachment.job_queue)
             for nqe in attachment.job_queue.pop_batch():
-                yield self._copy_cost()
-                if nqe.op is NqeOp.SOCKET:
-                    # Assign the fd immediately (§3.2) ...
-                    fd = self.table.allocate_fd(vm_id)
-                    response = nqe.completion(NqeStatus.OK, result=fd)
-                    response.fd = fd
-                    yield attachment.completion_queue.push(response)
-                    # ... and independently request a backend socket.
-                    cid = self.table.allocate_cid(nsm.nsm_id)
-                    self.table.insert(vm_id, fd, nsm.nsm_id, cid)
-                    yield nsm_queues.job.push(
-                        Nqe(
-                            op=NqeOp.SOCKET,
-                            vm_id=vm_id,
-                            fd=fd,
-                            nsm_id=nsm.nsm_id,
-                            cid=cid,
-                            args=attachment.region,
+                if self._traced:
+                    started, span = self._begin_switch(nqe, "job")
+                else:
+                    started = span = None
+                try:
+                    yield self._copy_cost()
+                    if nqe.op is NqeOp.SOCKET:
+                        # Assign the fd immediately (§3.2) ...
+                        fd = self.table.allocate_fd(vm_id)
+                        response = nqe.completion(NqeStatus.OK, result=fd)
+                        response.fd = fd
+                        yield attachment.completion_queue.push(response)
+                        # ... and independently request a backend socket.
+                        cid = self.table.allocate_cid(nsm.nsm_id)
+                        self.table.insert(vm_id, fd, nsm.nsm_id, cid)
+                        yield nsm_queues.job.push(
+                            Nqe(
+                                op=NqeOp.SOCKET,
+                                vm_id=vm_id,
+                                fd=fd,
+                                nsm_id=nsm.nsm_id,
+                                cid=cid,
+                                args=attachment.region,
+                                span=nqe.span,
+                            )
                         )
-                    )
-                    continue
-                mapping = self.table.to_nsm(vm_id, nqe.fd)
-                if mapping is None:
-                    yield attachment.completion_queue.push(
-                        nqe.completion(
-                            NqeStatus.ERROR,
-                            result=RuntimeError(f"no mapping for fd {nqe.fd}"),
+                        continue
+                    mapping = self.table.to_nsm(vm_id, nqe.fd)
+                    if mapping is None:
+                        yield attachment.completion_queue.push(
+                            nqe.completion(
+                                NqeStatus.ERROR,
+                                result=RuntimeError(f"no mapping for fd {nqe.fd}"),
+                            )
                         )
-                    )
-                    continue
-                nqe.nsm_id, nqe.cid = mapping
-                yield nsm_queues.job.push(nqe)
+                        continue
+                    nqe.nsm_id, nqe.cid = mapping
+                    yield nsm_queues.job.push(nqe)
+                finally:
+                    if started is not None:
+                        self._end_switch(started, span)
 
     def _nsm_completion_mover(self, nsm: NSM, queues: _NsmQueues):
         """NSM completion queue -> owning VM's completion queue."""
         while True:
             yield from self._consume(queues.completion)
             for nqe in queues.completion.pop_batch():
-                yield self._copy_cost()
-                vm_key = self.table.to_vm(nsm.nsm_id, nqe.cid)
-                if vm_key is None:
-                    continue  # race with teardown
-                vm_id, fd = vm_key
-                attachment = self._vms.get(vm_id)
-                if attachment is None:
-                    continue
-                nqe.vm_id, nqe.fd = vm_id, fd
-                if nqe.args is NqeOp.CLOSE:
-                    self.table.remove_by_vm(vm_id, fd)
-                yield attachment.completion_queue.push(nqe)
+                if self._traced:
+                    started, span = self._begin_switch(nqe, "cq")
+                else:
+                    started = span = None
+                try:
+                    yield self._copy_cost()
+                    vm_key = self.table.to_vm(nsm.nsm_id, nqe.cid)
+                    if vm_key is None:
+                        continue  # race with teardown
+                    vm_id, fd = vm_key
+                    attachment = self._vms.get(vm_id)
+                    if attachment is None:
+                        continue
+                    nqe.vm_id, nqe.fd = vm_id, fd
+                    if nqe.args is NqeOp.CLOSE:
+                        self.table.remove_by_vm(vm_id, fd)
+                    yield attachment.completion_queue.push(nqe)
+                finally:
+                    if started is not None:
+                        self._end_switch(started, span)
 
     def _nsm_receive_mover(self, nsm: NSM, queues: _NsmQueues):
         """NSM receive queue -> owning VM's receive queue."""
         while True:
             yield from self._consume(queues.receive)
             for nqe in queues.receive.pop_batch():
-                yield self._copy_cost()
-                vm_key = self.table.to_vm(nsm.nsm_id, nqe.cid)
-                if vm_key is None:
-                    if nqe.data_desc is not None:
-                        nqe.data_desc.free()
-                    continue
-                vm_id, fd = vm_key
-                attachment = self._vms.get(vm_id)
-                if attachment is None:
-                    continue
-                nqe.vm_id, nqe.fd = vm_id, fd
-                if nqe.op is NqeOp.ACCEPT_EVENT:
-                    # Generate a guest fd for the new flow (§3.2).
-                    child_cid = nqe.result
-                    child_fd = self.table.allocate_fd(vm_id)
-                    self.table.insert(vm_id, child_fd, nsm.nsm_id, child_cid)
-                    nqe.result = child_fd
-                yield attachment.receive_queue.push(nqe)
+                if self._traced:
+                    started, span = self._begin_switch(nqe, "rq")
+                else:
+                    started = span = None
+                try:
+                    yield self._copy_cost()
+                    vm_key = self.table.to_vm(nsm.nsm_id, nqe.cid)
+                    if vm_key is None:
+                        if nqe.data_desc is not None:
+                            nqe.data_desc.free()
+                        continue
+                    vm_id, fd = vm_key
+                    attachment = self._vms.get(vm_id)
+                    if attachment is None:
+                        continue
+                    nqe.vm_id, nqe.fd = vm_id, fd
+                    if nqe.op is NqeOp.ACCEPT_EVENT:
+                        # Generate a guest fd for the new flow (§3.2).
+                        child_cid = nqe.result
+                        child_fd = self.table.allocate_fd(vm_id)
+                        self.table.insert(vm_id, child_fd, nsm.nsm_id, child_cid)
+                        nqe.result = child_fd
+                    yield attachment.receive_queue.push(nqe)
+                finally:
+                    if started is not None:
+                        self._end_switch(started, span)
 
     # -------------------------------------------------------------- inspection --
     def attachment_of(self, vm_id: int) -> VmAttachment:

@@ -20,6 +20,7 @@ from ..api.errors import BadFileDescriptor, InvalidSocketState, SocketError
 from ..api.socket_api import SocketApi
 from ..host.cpu import Core
 from ..net import Endpoint
+from ..obs import runtime as obs_runtime
 from ..sim import Event, NANOS, Simulator
 from .hugepages import HugeChunk, HugePageRegion
 from .nqe import Nqe, NqeOp, NqeStatus
@@ -104,6 +105,8 @@ class GuestLib(SocketApi):
         self._sockets: Dict[int, _GuestSocket] = {}
         self._pending: Dict[int, Event] = {}  # token -> API event
         self.calls_issued = 0
+        self.tracer = obs_runtime.get_tracer()
+        self._traced = self.tracer.enabled
         sim.process(self._completion_loop(), name=f"vm{vm_id}.guestlib.cq")
         sim.process(self._receive_loop(), name=f"vm{vm_id}.guestlib.rq")
 
@@ -114,9 +117,21 @@ class GuestLib(SocketApi):
         except KeyError:
             raise BadFileDescriptor(f"fd {fd}") from None
 
-    def _issue(self, nqe: Nqe) -> Event:
+    def _issue(self, nqe: Nqe, span=None) -> Event:
         """Push a request nqe; returns the event resolved by its completion."""
         self.calls_issued += 1
+        if self._traced:
+            tracer = self.tracer
+            # Root span for the whole call (issue -> completion); it rides
+            # the nqe so every downstream layer hangs its child off it.
+            if span is None:
+                span = tracer.span(
+                    f"guestlib.{nqe.op.value}", "guestlib", tenant=self.vm_id
+                )
+            if span is not None:
+                span.cpu(GUESTLIB_OP_NS)
+                nqe.span = span
+            tracer.count("guestlib.ops")
         result = Event(self.sim)
         self._pending[nqe.token] = result
         charge = self.core.execute(GUESTLIB_OP_NS * NANOS)
@@ -179,10 +194,21 @@ class GuestLib(SocketApi):
     def _send_proc(self, sock: _GuestSocket, nbytes: int, api_event: Event):
         # Stage data into the shared huge pages (copy cost on the VM core),
         # then describe it with a SEND nqe.
+        root = stage = None
+        if self._traced:
+            tracer = self.tracer
+            root = tracer.span("guestlib.send", "guestlib", tenant=self.vm_id)
+            tracer.count("guestlib.tx_bytes", nbytes)
+            if root is not None:
+                root.annotate(bytes=nbytes)
+                stage = root.child("hugepage.stage", "hugepage")
         chunk = yield self.region.alloc(nbytes)
         yield self.region.copy(self.core, nbytes)
+        if stage is not None:
+            stage.end()
         result = self._issue(
-            Nqe(op=NqeOp.SEND, vm_id=self.vm_id, fd=sock.fd, data_desc=chunk)
+            Nqe(op=NqeOp.SEND, vm_id=self.vm_id, fd=sock.fd, data_desc=chunk),
+            span=root,
         )
 
         def finish(ev: Event) -> None:
@@ -253,6 +279,8 @@ class GuestLib(SocketApi):
                 self._handle_completion(nqe)
 
     def _handle_completion(self, nqe: Nqe) -> None:
+        if nqe.span is not None:
+            nqe.span.cpu(GUESTLIB_OP_NS).end()
         event = self._pending.pop(nqe.token, None)
         if event is None:
             return  # completion for a forgotten call
@@ -271,8 +299,17 @@ class GuestLib(SocketApi):
                 yield self.sim.timeout(INTERRUPT_DELAY)
                 yield self.core.execute(INTERRUPT_COST_NS * NANOS)
             for nqe in self.receive_queue.pop_batch():
+                deliver = None
+                if self._traced and nqe.span is not None:
+                    deliver = nqe.span.child("guestlib.deliver", "guestlib")
+                    if deliver is not None:
+                        deliver.cpu(GUESTLIB_OP_NS)
                 yield self.core.execute(GUESTLIB_OP_NS * NANOS)
                 yield from self._handle_receive(nqe)
+                if deliver is not None:
+                    deliver.end()
+                if nqe.span is not None:
+                    nqe.span.end()
 
     def _handle_receive(self, nqe: Nqe):
         sock = self._sockets.get(nqe.fd)
@@ -281,6 +318,8 @@ class GuestLib(SocketApi):
                 nqe.data_desc.free()
             return
         if nqe.op is NqeOp.DATA:
+            if self._traced:
+                self.tracer.count("guestlib.rx_bytes", nqe.data_desc.size)
             if self.inline_rx_copy:
                 yield self.region.copy(self.core, nqe.data_desc.size)
                 nqe.data_desc.eof = True  # marker: already copied out
@@ -326,5 +365,12 @@ class GuestLib(SocketApi):
                     entry[0].free()
             sock.rx_available -= taken
             if taken > 0 and not self.inline_rx_copy:
+                copy_span = None
+                if self._traced:
+                    copy_span = self.tracer.span(
+                        "guestlib.recv_copy", "guestlib", tenant=self.vm_id
+                    )
                 yield self.region.copy(self.core, taken)
+                if copy_span is not None:
+                    copy_span.annotate(bytes=taken).end()
             event.succeed(taken)

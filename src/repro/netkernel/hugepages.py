@@ -16,6 +16,7 @@ from typing import Optional
 
 from ..host.cpu import Core
 from ..host.memory import MemcpyModel
+from ..obs import runtime as obs_runtime
 from ..sim import Event, Simulator
 
 __all__ = ["HugeChunk", "HugePageRegion", "DEFAULT_PAGES", "PAGE_SIZE", "CHUNK_SIZE"]
@@ -65,6 +66,8 @@ class HugePageRegion:
         self.memcpy = memcpy or MemcpyModel()
         self.capacity = pages * page_size
         self.name = name
+        self.tracer = obs_runtime.get_tracer()
+        self._traced = self.tracer.enabled
         self.used = 0
         self.peak_used = 0
         self.alloc_failures = 0
@@ -94,6 +97,8 @@ class HugePageRegion:
         if chunk is not None:
             event.succeed(chunk)
         else:
+            if self._traced:
+                self.tracer.count("hugepage.blocked_allocs")
             self._waiters.append((size, event))
         return event
 
@@ -126,4 +131,10 @@ class HugePageRegion:
         cost = full * self.memcpy.copy_latency(chunk_size)
         if rest:
             cost += self.memcpy.copy_latency(rest)
+        if self._traced:
+            tracer = self.tracer
+            tracer.count("hugepage.copies")
+            tracer.count("hugepage.bytes", nbytes)
+            tracer.histogram("hugepage.copy_ns").record(cost * 1e9)
+            tracer.high_water(f"hugepage.peak_used.{self.name}", self.peak_used)
         return core.execute(cost)

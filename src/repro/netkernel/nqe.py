@@ -15,6 +15,7 @@ from itertools import count
 from typing import Any, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.spans import Span
     from .hugepages import HugeChunk
 
 __all__ = ["NqeOp", "NqeStatus", "Nqe", "NQE_SIZE_BYTES", "NQE_COPY_NS"]
@@ -90,6 +91,12 @@ class Nqe:
     token: int = field(default_factory=lambda: next(_nqe_ids))
     #: Result payload for completions.
     result: Any = None
+    #: Observability: the root span riding this nqe across layers
+    #: (None when tracing is off or the root was not sampled).
+    span: Optional["Span"] = None
+    #: Observability: when the nqe entered its current ring (set by the
+    #: ring itself while tracing, consumed at dequeue for wait latency).
+    enqueued_at: Optional[float] = None
 
     @property
     def is_connection_event(self) -> bool:
@@ -107,4 +114,5 @@ class Nqe:
             status=status,
             token=self.token,
             result=result,
+            span=self.span,
         )

@@ -20,6 +20,7 @@ import enum
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
+from ..obs import runtime as obs_runtime
 from ..sim import Event, Simulator
 from .nqe import Nqe
 
@@ -47,6 +48,11 @@ class NqeRing:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        #: Ring kind ("job"/"cq"/"rq" by convention) — groups the per-kind
+        #: observability histograms across VMs and NSMs.
+        self.kind = name.rsplit(".", 1)[-1]
+        self.tracer = obs_runtime.get_tracer()
+        self._traced = self.tracer.enabled
         self._items: Deque[Nqe] = deque()
         self._putters: Deque[Tuple[Event, Nqe]] = deque()
         self._doorbells: List[Event] = []
@@ -69,6 +75,8 @@ class NqeRing:
             self._accept(nqe)
             event.succeed()
         else:
+            if self._traced:
+                self.tracer.count(f"queue.{self.kind}.full_waits")
             self._putters.append((event, nqe))
         return event
 
@@ -83,6 +91,11 @@ class NqeRing:
         self._enqueue(nqe)
         self.total_pushed += 1
         self.high_watermark = max(self.high_watermark, len(self))
+        if self._traced:
+            tracer = self.tracer
+            nqe.enqueued_at = self.sim.now
+            tracer.count(f"queue.{self.kind}.pushed")
+            tracer.high_water(f"queue.hwm.{self.name}", len(self))
         if self._doorbells:
             doorbells, self._doorbells = self._doorbells, []
             for doorbell in doorbells:
@@ -100,17 +113,44 @@ class NqeRing:
             return None
         nqe = self._dequeue()
         self.total_popped += 1
+        if self._traced:
+            self._record_pop(nqe)
         self._admit_waiting_putters()
         return nqe
 
     def pop_batch(self, max_items: int = 64) -> List[Nqe]:
         """Drain up to ``max_items`` (batched-interrupt consumers)."""
         batch: List[Nqe] = []
+        traced = self._traced
         while len(self) > 0 and len(batch) < max_items:
-            batch.append(self._dequeue())
+            nqe = self._dequeue()
             self.total_popped += 1
+            if traced:
+                self._record_pop(nqe)
+            batch.append(nqe)
         self._admit_waiting_putters()
         return batch
+
+    def _record_pop(self, nqe: Nqe) -> None:
+        """Observability at dequeue: ring-wait latency and residency span."""
+        tracer = self.tracer
+        tracer.count(f"queue.{self.kind}.popped")
+        if nqe.enqueued_at is None:
+            return
+        now = self.sim.now
+        tracer.histogram(f"queue.wait_ns.{self.kind}").record(
+            (now - nqe.enqueued_at) * 1e9
+        )
+        if nqe.span is not None:
+            tracer.record_span(
+                f"queue.{self.kind}.wait",
+                "queue",
+                start=nqe.enqueued_at,
+                finish=now,
+                tenant=nqe.vm_id,
+                parent=nqe.span,
+            )
+        nqe.enqueued_at = None
 
     def wait_nonempty(self) -> Event:
         """Doorbell: fires when at least one element is (or becomes) queued."""

@@ -14,6 +14,7 @@ from typing import Callable, Dict, Optional
 
 from ..api.errors import SocketError
 from ..net import Endpoint
+from ..obs import runtime as obs_runtime
 from ..sim import NANOS, Simulator
 from ..tcp import Listener, TcpConnection
 from ..tcp.cc import base as cc_base
@@ -74,6 +75,8 @@ class ServiceLib:
         self.rx_chunk = getattr(nsm.spec, "rx_chunk_bytes", RX_CHUNK_BYTES)
         self._backends: Dict[int, _Backend] = {}
         self.ops_handled = 0
+        self.tracer = obs_runtime.get_tracer()
+        self._traced = self.tracer.enabled
         # --- per-tenant QoS (§5): DRR op scheduling + egress rate caps ---
         self.qos = nsm.spec.qos
         self._drr: Optional[DrrScheduler] = None
@@ -114,13 +117,29 @@ class ServiceLib:
                 shard = (nqe.cid or 0) % self.workers
                 self._shards[shard].try_put(nqe)
 
+    def _begin_op(self, nqe: Nqe):
+        """Open the per-op span (covers the NSM-core charge + dispatch)."""
+        if not self._traced:
+            return None
+        tracer = self.tracer
+        tracer.count("servicelib.ops")
+        if nqe.span is None:
+            return None
+        span = nqe.span.child(f"servicelib.{nqe.op.value}", "servicelib")
+        if span is not None:
+            span.cpu(self.op_cost / NANOS)
+        return span
+
     def _shard_loop(self, index, core):
         store = self._shards[index]
         while True:
             nqe = yield store.get()
+            span = self._begin_op(nqe)
             yield core.execute(self.op_cost)
             self.ops_handled += 1
-            self._dispatch(nqe)
+            self._dispatch(nqe, span)
+            if span is not None:
+                span.end()
 
     def _job_loop(self, core):
         while True:
@@ -133,9 +152,12 @@ class ServiceLib:
                     )
             if self._drr is None:
                 for nqe in self.job_queue.pop_batch():
+                    span = self._begin_op(nqe)
                     yield core.execute(self.op_cost)
                     self.ops_handled += 1
-                    self._dispatch(nqe)
+                    self._dispatch(nqe, span)
+                    if span is not None:
+                        span.end()
                 continue
             # DRR mode: classify fresh arrivals by tenant, then serve one
             # op per iteration in deficit-round-robin order so a single
@@ -144,11 +166,14 @@ class ServiceLib:
                 self._drr.push(nqe.vm_id, nqe, cost=self.op_cost / NANOS)
             nqe = self._drr.pop()
             if nqe is not None:
+                span = self._begin_op(nqe)
                 yield core.execute(self.op_cost)
                 self.ops_handled += 1
-                self._dispatch(nqe)
+                self._dispatch(nqe, span)
+                if span is not None:
+                    span.end()
 
-    def _dispatch(self, nqe: Nqe) -> None:
+    def _dispatch(self, nqe: Nqe, span=None) -> None:
         handler = {
             NqeOp.SOCKET: self._op_socket,
             NqeOp.BIND: self._op_bind,
@@ -162,7 +187,10 @@ class ServiceLib:
             self._complete_error(nqe, SocketError(f"bad op {nqe.op}"))
             return
         try:
-            handler(nqe)
+            if nqe.op is NqeOp.SEND:
+                handler(nqe, span)
+            else:
+                handler(nqe)
         except SocketError as exc:
             self._complete_error(nqe, exc)
 
@@ -226,12 +254,19 @@ class ServiceLib:
 
         conn.established.add_callback(finish)
 
-    def _op_send(self, nqe: Nqe) -> None:
+    def _op_send(self, nqe: Nqe, span=None) -> None:
         backend = self._backend(nqe)
         if backend.conn is None:
             raise SocketError(f"cid {nqe.cid} not connected")
         chunk = nqe.data_desc
         nbytes = chunk.size
+        if self._traced:
+            self.tracer.count("servicelib.tx_bytes", nbytes)
+            # Let the TCP layer parent its segment spans under this send op
+            # (falling back to the op's root if sampling dropped the child).
+            self.tracer.bind_flow(
+                id(backend.conn), span if span is not None else nqe.span
+            )
 
         def submit(_ev=None):
             accepted = backend.conn.send(nbytes)
@@ -296,12 +331,17 @@ class ServiceLib:
         child.conn = conn
         self._backends[cid] = child
         self._start_rx(child)
+        span = None
+        if self._traced:
+            span = self.tracer.span("servicelib.accept_event", "servicelib")
+            self.tracer.count("servicelib.accepts")
         self.receive_queue.push(
             Nqe(
                 op=NqeOp.ACCEPT_EVENT,
                 nsm_id=self.nsm.nsm_id,
                 cid=listen_backend.cid,
                 result=cid,  # the new connection's cID
+                span=span,
             )
         )
 
@@ -324,13 +364,24 @@ class ServiceLib:
                     Nqe(op=NqeOp.EOF, nsm_id=self.nsm.nsm_id, cid=backend.cid)
                 )
                 return
+            root = stage = None
+            if self._traced:
+                tracer = self.tracer
+                tracer.count("servicelib.rx_bytes", taken)
+                root = tracer.span("servicelib.rx_data", "servicelib")
+                if root is not None:
+                    root.annotate(bytes=taken)
+                    stage = root.child("hugepage.stage", "hugepage")
             chunk = yield backend.region.alloc(taken)
             yield backend.region.copy(self.core, taken)
+            if stage is not None:
+                stage.end()
             yield self.receive_queue.push(
                 Nqe(
                     op=NqeOp.DATA,
                     nsm_id=self.nsm.nsm_id,
                     cid=backend.cid,
                     data_desc=chunk,
+                    span=root,
                 )
             )

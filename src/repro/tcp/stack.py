@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..net import NIC, Endpoint, Packet
+from ..obs import runtime as obs_runtime
 from ..sim import NANOS, Event, Simulator
 from .cc import base as cc_base
 from .connection import TcpConfig, TcpConnection
@@ -94,6 +95,8 @@ class TcpStack:
         #: (pure ACKs bypass — they are a rounding error on the fabric).
         self.arbiter = None
         self.stats = StackStats()
+        self.tracer = obs_runtime.get_tracer()
+        self._traced = self.tracer.enabled
 
     # ----------------------------------------------------------- provisioning --
     def effective_mss(self) -> int:
@@ -177,6 +180,26 @@ class TcpStack:
         """Charge transmit CPU, then hand the packet to the NIC."""
         self.stats.segments_out += 1
         self.stats.bytes_out += seg.payload_len
+        cost = (
+            self.config.per_segment_ns + self.config.per_byte_ns * seg.payload_len
+        ) * NANOS
+        span = None
+        if self._traced:
+            tracer = self.tracer
+            tracer.count("tcp.segments_out")
+            tracer.count("tcp.bytes_out", seg.payload_len)
+            if getattr(seg, "retransmitted", False):
+                tracer.count("tcp.retransmits")
+            # Parent under the ServiceLib send that produced these bytes
+            # (payload segments only; pure ACKs stand alone and are left
+            # to the sampler).
+            parent = tracer.flow_parent(id(conn)) if seg.payload_len else None
+            if parent is not None:
+                span = parent.child("tcp.tx_segment", "tcp")
+            elif seg.payload_len:
+                span = tracer.span("tcp.tx_segment", "tcp")
+            if span is not None:
+                span.cpu(cost / NANOS).annotate(bytes=seg.payload_len)
         packet = Packet(
             src=self.ip,
             dst=conn.remote.ip,
@@ -188,14 +211,13 @@ class TcpStack:
         )
         core = self._core_of.get(id(conn))
         if core is None:
-            self._to_wire(packet, seg)
+            self._to_wire(packet, seg, span)
             return
-        cost = (
-            self.config.per_segment_ns + self.config.per_byte_ns * seg.payload_len
-        ) * NANOS
-        core.execute(cost).add_callback(lambda _ev: self._to_wire(packet, seg))
+        core.execute(cost).add_callback(lambda _ev: self._to_wire(packet, seg, span))
 
-    def _to_wire(self, packet: Packet, seg: TcpSegment) -> None:
+    def _to_wire(self, packet: Packet, seg: TcpSegment, span=None) -> None:
+        if span is not None:
+            span.end()
         if self.arbiter is not None and seg.payload_len > 0:
             self.arbiter.request(packet.wire_bytes()).add_callback(
                 lambda _ev: self.nic.transmit(packet)
@@ -210,6 +232,9 @@ class TcpStack:
             return
         self.stats.segments_in += 1
         self.stats.bytes_in += seg.payload_len
+        if self._traced:
+            self.tracer.count("tcp.segments_in")
+            self.tracer.count("tcp.bytes_in", seg.payload_len)
         key = (seg.dst_port, packet.src, seg.src_port)
         conn = self._connections.get(key)
         core = self._core_of.get(id(conn)) if conn is not None else (

@@ -40,3 +40,30 @@ def test_figure5_seed_argument():
 def test_figure4_duration_argument():
     args = build_parser().parse_args(["figure4", "--duration", "0.2"])
     assert args.duration == 0.2
+
+
+def test_trace_command_writes_chrome_trace(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "trace.json"
+    summary_out = tmp_path / "summary.json"
+    assert main([
+        "trace", "figure4",
+        "--duration", "0.02",
+        "--out", str(out),
+        "--summary-out", str(summary_out),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "coreengine.switch_ns" in printed
+    trace = json.loads(out.read_text())
+    layers = {e["cat"] for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert {"guestlib", "queue", "coreengine", "servicelib", "tcp"} <= layers
+    report = json.loads(summary_out.read_text())
+    assert report["histograms_ns"]["coreengine.switch_ns"]["p99"] > 0
+
+
+def test_trace_parser_defaults():
+    args = build_parser().parse_args(["trace", "figure4"])
+    assert args.out == "trace.json"
+    assert args.sample == 1
+    assert args.duration is None
