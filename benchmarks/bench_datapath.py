@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Datapath wall-clock benchmark: simulator host performance.
+
+Unlike the sibling benchmarks (which regenerate paper artifacts), this
+one measures the simulator *itself*: wall seconds, events per wall
+second, and peak RSS across batched/unbatched × traced/untraced runs of
+figure4- and figure5-shaped workloads, written to BENCH_datapath.json.
+
+Two entry points:
+
+* ``python benchmarks/bench_datapath.py [--quick] [--out F] [--check REF]``
+  — the CI smoke path; ``--check`` exits non-zero if the headline config
+  (fig4, unbatched, untraced) is >25 % slower than the committed
+  reference JSON.
+* ``pytest benchmarks/bench_datapath.py --benchmark-only -s`` — the
+  pytest-benchmark convention used by the other files here.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow running as a plain script from a checkout (CI uses PYTHONPATH=src,
+# an installed package needs nothing; this covers the bare invocation).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.bench_datapath import main, render, run_bench  # noqa: E402
+
+from conftest import emit  # noqa: E402
+
+
+def test_bench_datapath(benchmark):
+    result = benchmark.pedantic(
+        run_bench, kwargs=dict(quick=True, repeats=1), rounds=1, iterations=1
+    )
+    emit("Datapath — simulator wall-clock performance (quick)", render(result))
+    configs = result["configs"]
+    # Every cell ran and processed a non-trivial event stream.
+    for key, row in configs.items():
+        assert row["events"] > 0, key
+        assert row["wall_s"] > 0, key
+    # Batching changes modeled cost, not delivery: the workload completes
+    # in every configuration and tracing never alters the simulation.
+    assert configs["fig4_unbatched_untraced"]["gbps"] > 0
+    assert (
+        configs["fig4_unbatched_traced"]["gbps"]
+        == configs["fig4_unbatched_untraced"]["gbps"]
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

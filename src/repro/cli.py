@@ -8,6 +8,7 @@
     python -m repro ablation {form,priority,notify,multiplex,
                               containers,qos,fastpass,connscale}
     python -m repro trace figure4 --out trace.json   # cross-layer tracing
+    python -m repro bench datapath [--quick]         # simulator wall-clock perf
     python -m repro all                  # everything (several minutes)
 """
 
@@ -87,6 +88,21 @@ def run_all(args: argparse.Namespace) -> str:
         sections.append(run_ablation(argparse.Namespace(which=which)))
         sections.append(f"[{time.time() - started:.0f}s]")
     return "\n".join(sections)
+
+
+def run_bench(args: argparse.Namespace) -> str:
+    from .experiments import bench_datapath
+
+    result = bench_datapath.run_bench(quick=args.quick, repeats=args.repeats)
+    lines = [bench_datapath.render(result)]
+    if args.out:
+        import json
+
+        with open(args.out, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        lines.append(f"results -> {args.out}")
+    return "\n".join(lines)
 
 
 def run_trace(args: argparse.Namespace) -> str:
@@ -169,6 +185,7 @@ def run_list(args: argparse.Namespace) -> str:
         f"({', '.join(sorted(_ABLATIONS))})",
         "  trace      run figure4/figure5 with the repro.obs tracer on;"
         " export a Chrome trace",
+        "  bench      simulator wall-clock benchmarks (datapath)",
         "  all        everything above in sequence",
     ]
     return "\n".join(lines)
@@ -204,6 +221,18 @@ def build_parser() -> argparse.ArgumentParser:
     ablation = sub.add_parser("ablation", help="§5 ablations")
     ablation.add_argument("which", choices=sorted(_ABLATIONS))
     ablation.set_defaults(runner=run_ablation)
+
+    bench = sub.add_parser(
+        "bench", help="simulator wall-clock benchmarks (host performance)"
+    )
+    bench.add_argument("which", choices=["datapath"])
+    bench.add_argument("--quick", action="store_true",
+                       help="small workloads (seconds, not minutes)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="runs per config, best kept")
+    bench.add_argument("--out", default="BENCH_datapath.json",
+                       help="result JSON path ('' to skip writing)")
+    bench.set_defaults(runner=run_bench)
 
     trace = sub.add_parser(
         "trace",

@@ -24,6 +24,7 @@ from .common import (
     make_lan_testbed,
     make_wan_testbed,
 )
+from .bench_datapath import run_datapath_bench
 from .figure4 import Figure4Result, run_figure4
 from .figure5 import Figure5Result, run_figure5
 from .microbench import MicrobenchResult, run_microbench
@@ -47,6 +48,7 @@ __all__ = [
     "default_wan_loss",
     "Figure4Result",
     "run_figure4",
+    "run_datapath_bench",
     "Figure5Result",
     "run_figure5",
     "Table1Result",

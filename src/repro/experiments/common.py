@@ -144,6 +144,7 @@ def make_wan_testbed(
     queue_bytes: int = 96 * 1024,  # a shallow uplink-modem queue
     loss: Optional[LossModel] = None,
     seed: int = 1,
+    coreengine_config: Optional[CoreEngineConfig] = None,
     tracer: Optional[Tracer] = None,
 ) -> WanTestbed:
     """Figure 5's path: datacenter server -> transpacific WAN -> client.
@@ -185,8 +186,8 @@ def make_wan_testbed(
         sim=sim,
         server_host=server,
         client_host=client,
-        server_hypervisor=Hypervisor(sim, server),
-        client_hypervisor=Hypervisor(sim, client),
+        server_hypervisor=Hypervisor(sim, server, coreengine_config),
+        client_hypervisor=Hypervisor(sim, client, coreengine_config),
         wire=wire,
     )
 

@@ -67,12 +67,19 @@ def measure_lan_throughput(
     duration: float = 0.35,
     warmup: float = 0.1,
     socket_buf: int = FIG4_SOCKET_BUF,
+    coreengine_config=None,
     tracer=None,
+    stats_out=None,
 ) -> float:
-    """Aggregate goodput (Gbps) of ``flows`` bulk flows on the LAN testbed."""
+    """Aggregate goodput (Gbps) of ``flows`` bulk flows on the LAN testbed.
+
+    ``coreengine_config`` overrides the datapath policy (batching, notify
+    mode, ...).  Pass a dict as ``stats_out`` to receive simulator-level
+    metrics (``events_processed``) — the bench harness uses this.
+    """
     if mode not in ("native", "netkernel"):
         raise ValueError(f"mode must be 'native' or 'netkernel', got {mode!r}")
-    testbed = make_lan_testbed(tracer=tracer)
+    testbed = make_lan_testbed(coreengine_config=coreengine_config, tracer=tracer)
     sim = testbed.sim
     overrides = {"rcvbuf": socket_buf, "sndbuf": socket_buf}
 
@@ -105,6 +112,9 @@ def measure_lan_throughput(
         receivers.append(BulkReceiver(sim, vm_b.api, port, warmup=warmup))
         BulkSender(sim, vm_a.api, remote_for(vm_b, port))
     sim.run(until=duration)
+    if stats_out is not None:
+        stats_out["events_processed"] = sim.events_processed
+        stats_out["sim_seconds"] = duration
     total_bps = sum(rx.meter.bps(until=duration) for rx in receivers)
     return total_bps / 1e9
 

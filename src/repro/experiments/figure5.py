@@ -84,10 +84,14 @@ def measure_wan_throughput(
     warmup: float = 5.0,
     seed: int = 1,
     loss: Optional[LossModel] = None,
+    coreengine_config=None,
     tracer=None,
+    stats_out=None,
 ) -> float:
     """Mean goodput (Mbps) of one sender configuration on the WAN path."""
-    testbed = make_wan_testbed(seed=seed, loss=loss, tracer=tracer)
+    testbed = make_wan_testbed(
+        seed=seed, loss=loss, coreengine_config=coreengine_config, tracer=tracer
+    )
     sim = testbed.sim
 
     # The California client: a plain Linux VM that sinks the stream.
@@ -108,6 +112,9 @@ def measure_wan_throughput(
     receiver = BulkReceiver(sim, client_vm.api, port=5000, warmup=warmup)
     BulkSender(sim, server_vm.api, Endpoint(client_vm.api.ip, 5000))
     sim.run(until=duration)
+    if stats_out is not None:
+        stats_out["events_processed"] = sim.events_processed
+        stats_out["sim_seconds"] = duration
     return receiver.meter.bps(until=duration) / 1e6
 
 

@@ -39,18 +39,37 @@ class Core:
         self._traced = self._tracer.enabled
 
     def execute(self, cost_seconds: float) -> Event:
-        """Enqueue ``cost_seconds`` of work; event fires at completion."""
+        """Enqueue ``cost_seconds`` of work; event fires at completion.
+
+        The returned event comes from the simulator's timeout free list:
+        yield it or attach callbacks immediately, but do not store it past
+        its firing (no datapath code does).
+        """
         if cost_seconds < 0:
             raise ValueError("negative CPU cost")
         if self._traced:
             self._tracer.on_cpu(self.name, cost_seconds)
         now = self.sim.now
-        start = max(now, self._busy_until)
+        start = self._busy_until
+        if now > start:
+            start = now
         finish = start + cost_seconds
         self._busy_until = finish
         self.busy_seconds += cost_seconds
         self.ops += 1
-        return self.sim.timeout(finish - now)
+        return self.sim._pooled_timeout(finish - now)
+
+    def execute_call(self, cost_seconds: float, func, *args) -> Event:
+        """``execute(cost)`` then ``func(*args)``, without closure allocation.
+
+        Equivalent to ``execute(cost).add_callback(lambda _ev: func(*args))``
+        but the call rides the timeout's direct-call slot — the common shape
+        for charging an op cost and then pushing an nqe or a packet.
+        """
+        timeout = self.execute(cost_seconds)
+        timeout._call = func
+        timeout._call_args = args
+        return timeout
 
     def execute_cycles(self, cycles: float) -> Event:
         """Enqueue work expressed in CPU cycles at this core's clock."""

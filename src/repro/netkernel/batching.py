@@ -1,0 +1,95 @@
+"""Amortized cost model for batched nqe processing.
+
+The HotNets paper's prototype moves one nqe at a time; its NSDI follow-up
+("NetKernel: Making Network Stack Part of the Virtualized Infrastructure",
+PAPERS.md) gets its multi-10G results from *batching*: CoreEngine and
+ServiceLib drain their shared-memory rings in bursts, touching the ring
+head/tail pointers and warming the descriptor cache lines once per burst
+instead of once per element.  We model that with a two-term linear cost:
+
+    burst of N nqes  =  per_batch_ns + N * per_nqe_ns
+
+charged as a *single* ``core.execute`` when the consumer drains a burst.
+``per_batch_ns`` covers the fixed work (doorbell check, head/tail read,
+prefetch, function-call overhead of entering the drain loop);
+``per_nqe_ns`` is the marginal cost of one descriptor once the loop is
+hot.  With ``batch_size == 1`` batching is off and every layer charges
+its original per-nqe constant through the original code path, so runs are
+bit-identical to the unbatched model.
+
+Calibration
+-----------
+The per-layer constants keep each layer's *unbatched* cost as the
+single-element intercept (so tiny bursts are never cheaper than the
+unbatched model) and approach the amortized regime the NSDI paper
+reports — CoreEngine sustains on the order of 100M nqe switches/s/core
+when batched, versus ~83M/s implied by the 12 ns per-copy figure of the
+HotNets prototype (§4.2), with the bigger win being the removal of
+per-nqe queue round-trips:
+
+* CoreEngine: 12 ns unbatched copy (``NQE_COPY_NS``, §4.2) becomes
+  ``8 + N*4`` ns — break-even at N=2, 3x switch capacity asymptotically.
+* GuestLib: 200 ns per op (``GUESTLIB_OP_NS``) becomes ``140 + N*60`` ns
+  — the fixed part is the wakeup/dispatch; descriptor handling is cheap.
+* ServiceLib: 300 ns per op (``SERVICELIB_OP_NS``) becomes
+  ``210 + N*90`` ns, scaled by the NSM form's cpu multiplier as the
+  unbatched path already does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "BatchPolicy",
+    "CE_PER_BATCH_NS",
+    "CE_PER_NQE_NS",
+    "GL_PER_BATCH_NS",
+    "GL_PER_NQE_NS",
+    "SL_PER_BATCH_NS",
+    "SL_PER_NQE_NS",
+    "DEFAULT_BATCH_SIZE",
+]
+
+#: Default burst size when batching is turned on (the NSDI prototype
+#: drains up to 64 descriptors per doorbell; 64 also matches the ring
+#: consumers' historical ``pop_batch`` limit).
+DEFAULT_BATCH_SIZE = 64
+
+#: CoreEngine nqe switch: fixed burst entry + amortized per-element copy.
+CE_PER_BATCH_NS = 8.0
+CE_PER_NQE_NS = 4.0
+#: GuestLib completion/receive handling.
+GL_PER_BATCH_NS = 140.0
+GL_PER_NQE_NS = 60.0
+#: ServiceLib op dequeue+dispatch (before the NSM form cpu multiplier).
+SL_PER_BATCH_NS = 210.0
+SL_PER_NQE_NS = 90.0
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """One layer's drain size and amortized burst cost.
+
+    ``batch_size == 1`` means batching is disabled: consumers use the
+    original one-``core.execute``-per-nqe path and never consult the
+    per-batch/per-nqe constants.
+    """
+
+    batch_size: int = 1
+    per_batch_ns: float = 0.0
+    per_nqe_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.per_batch_ns < 0 or self.per_nqe_ns < 0:
+            raise ValueError("batch cost terms must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.batch_size > 1
+
+    def burst_ns(self, n: int) -> float:
+        """CPU nanoseconds charged for draining a burst of ``n`` nqes."""
+        return self.per_batch_ns + n * self.per_nqe_ns

@@ -19,12 +19,21 @@ from typing import Dict, Optional
 from ..host.cpu import Core
 from ..obs import runtime as obs_runtime
 from ..sim import NANOS, Simulator
+from .batching import (
+    CE_PER_BATCH_NS,
+    CE_PER_NQE_NS,
+    GL_PER_BATCH_NS,
+    GL_PER_NQE_NS,
+    SL_PER_BATCH_NS,
+    SL_PER_NQE_NS,
+    BatchPolicy,
+)
 from .conntable import ConnectionTable
 from .guestlib import GuestLib
 from .hugepages import HugePageRegion
 from .nqe import NQE_COPY_NS, Nqe, NqeOp, NqeStatus
 from .nsm import NSM
-from .queues import NotifyMode, NqeRing, PriorityNqeRing
+from .queues import BatchRingPump, NotifyMode, NqeRing, PriorityNqeRing, RingPump
 from .servicelib import ServiceLib
 
 __all__ = ["CoreEngineConfig", "CoreEngine", "VmAttachment"]
@@ -45,6 +54,38 @@ class CoreEngineConfig:
     #: Single-threaded GuestLib receive processing (copies inline in the
     #: poll loop, as the prototype does) — the HoL-prone configuration.
     inline_rx_copy: bool = False
+    #: Burst size for draining nqe rings (1 = batching off; every layer
+    #: then charges its original per-nqe constant bit-identically).  When
+    #: > 1, a drained burst of N nqes costs ``per_batch_ns + N*per_nqe_ns``
+    #: in a single ``core.execute`` — see :mod:`repro.netkernel.batching`.
+    batch_size: int = 1
+    #: CoreEngine amortized switch cost (replaces ``nqe_copy_ns`` per nqe).
+    per_batch_ns: float = CE_PER_BATCH_NS
+    per_nqe_ns: float = CE_PER_NQE_NS
+    #: GuestLib poll-loop amortized costs (replace ``GUESTLIB_OP_NS``).
+    guestlib_per_batch_ns: float = GL_PER_BATCH_NS
+    guestlib_per_nqe_ns: float = GL_PER_NQE_NS
+    #: ServiceLib poll-loop amortized costs (replace ``SERVICELIB_OP_NS``;
+    #: the NSM form's cpu multiplier applies on top, as it does unbatched).
+    servicelib_per_batch_ns: float = SL_PER_BATCH_NS
+    servicelib_per_nqe_ns: float = SL_PER_NQE_NS
+
+    @property
+    def batching(self) -> bool:
+        return self.batch_size > 1
+
+    def coreengine_batch(self) -> BatchPolicy:
+        return BatchPolicy(self.batch_size, self.per_batch_ns, self.per_nqe_ns)
+
+    def guestlib_batch(self) -> BatchPolicy:
+        return BatchPolicy(
+            self.batch_size, self.guestlib_per_batch_ns, self.guestlib_per_nqe_ns
+        )
+
+    def servicelib_batch(self) -> BatchPolicy:
+        return BatchPolicy(
+            self.batch_size, self.servicelib_per_batch_ns, self.servicelib_per_nqe_ns
+        )
 
 
 @dataclass
@@ -113,15 +154,19 @@ class CoreEngine:
             receive_queue=receive,
             allocate_cid=lambda: self.table.allocate_cid(nsm.nsm_id),
             notify_mode=self.config.notify_mode,
+            batch=self.config.servicelib_batch(),
         )
         queues = _NsmQueues(job, completion, receive, servicelib)
         self._nsms[nsm.nsm_id] = queues
-        self.sim.process(
-            self._nsm_completion_mover(nsm, queues), name=f"{self.name}.cq.{nsm.name}"
-        )
-        self.sim.process(
-            self._nsm_receive_mover(nsm, queues), name=f"{self.name}.rq.{nsm.name}"
-        )
+
+        def switch_completion(nqe):
+            return self._switch_completion_nqe(nsm, nqe)
+
+        def switch_receive(nqe):
+            return self._switch_receive_nqe(nsm, nqe)
+
+        self._start_mover(completion, "cq", switch_completion, f"{self.name}.cq.{nsm.name}")
+        self._start_mover(receive, "rq", switch_receive, f"{self.name}.rq.{nsm.name}")
         return queues
 
     def attach_vm(self, vm_core: Core, nsm: NSM, memcpy=None) -> VmAttachment:
@@ -149,6 +194,7 @@ class CoreEngine:
             region=region,
             notify_mode=self.config.notify_mode,
             inline_rx_copy=self.config.inline_rx_copy,
+            batch=self.config.guestlib_batch(),
         )
         attachment = VmAttachment(
             vm_id=vm_id,
@@ -161,24 +207,20 @@ class CoreEngine:
         )
         self._vms[vm_id] = attachment
         nsm.tenant_vm_ids.append(vm_id)
-        self.sim.process(
-            self._vm_job_mover(attachment), name=f"{self.name}.job.vm{vm_id}"
-        )
+        nsm_queues = self._nsms[nsm.nsm_id]
+
+        def switch_job(nqe):
+            return self._switch_job_nqe(attachment, nsm, nsm_queues, nqe)
+
+        self._start_mover(job, "job", switch_job, f"{self.name}.job.vm{vm_id}")
         return attachment
 
     # ------------------------------------------------------------ mover loops --
-    def _consume(self, ring: NqeRing):
-        """Shared consumer prologue: doorbell + (optional) interrupt cost."""
-        yield ring.wait_nonempty()
-        if self.config.notify_mode is NotifyMode.BATCHED_INTERRUPT:
-            yield self.sim.timeout(INTERRUPT_DELAY)
-            yield self.core.execute(INTERRUPT_COST_NS * NANOS)
+    def _forward_slow(self, ring: NqeRing, nqe: Nqe):
+        """Backpressure path: block the mover until ``ring`` accepts."""
+        yield ring.push(nqe)
 
-    def _copy_cost(self):
-        self.nqes_copied += 1
-        return self.core.execute(self.config.nqe_copy_ns * NANOS)
-
-    def _begin_switch(self, nqe: Nqe, direction: str):
+    def _begin_switch(self, nqe: Nqe, direction: str, cpu_ns: Optional[float] = None):
         """Open the per-nqe switch span (pop -> forwarded push accepted).
 
         Callers guard on ``self.tracer.enabled`` so the disabled datapath
@@ -188,7 +230,7 @@ class CoreEngine:
         if nqe.span is not None:
             span = nqe.span.child(f"coreengine.switch.{direction}", "coreengine")
             if span is not None:
-                span.cpu(self.config.nqe_copy_ns)
+                span.cpu(cpu_ns if cpu_ns is not None else self.config.nqe_copy_ns)
         return self.sim.now, span
 
     def _end_switch(self, started, span) -> None:
@@ -198,113 +240,255 @@ class CoreEngine:
         if span is not None:
             span.end()
 
-    def _vm_job_mover(self, attachment: VmAttachment):
-        """VM job queue -> NSM job queue (with fd -> cID mapping)."""
+    # -- per-nqe switch bodies (shared by batched and unbatched movers) -----
+    #
+    # Each body is a *plain function* returning ``None`` on the fast path
+    # (destination rings had space; nqes were handed over with ``offer``,
+    # no event round-trip) or a generator the mover must ``yield from``
+    # when a destination ring is full and the mover has to block for
+    # backpressure.  Delivery order is identical either way: a full ring
+    # queues offered nqes behind its backpressure list in FIFO order.
+    def _switch_job_nqe(
+        self,
+        attachment: VmAttachment,
+        nsm: NSM,
+        nsm_queues: _NsmQueues,
+        nqe: Nqe,
+    ):
         vm_id = attachment.vm_id
-        nsm = attachment.nsm
-        nsm_queues = self._nsms[nsm.nsm_id]
+        if nqe.op is NqeOp.SOCKET:
+            # Assign the fd immediately (§3.2) ...
+            fd = self.table.allocate_fd(vm_id)
+            response = nqe.completion(NqeStatus.OK, result=fd)
+            response.fd = fd
+            # ... and independently request a backend socket.
+            cid = self.table.allocate_cid(nsm.nsm_id)
+            self.table.insert(vm_id, fd, nsm.nsm_id, cid)
+            backend = Nqe(
+                op=NqeOp.SOCKET,
+                vm_id=vm_id,
+                fd=fd,
+                nsm_id=nsm.nsm_id,
+                cid=cid,
+                args=attachment.region,
+                span=nqe.span,
+            )
+            cq = attachment.completion_queue
+            jq = nsm_queues.job
+            if cq.is_full or jq.is_full:
+                return self._socket_switch_slow(cq, response, jq, backend)
+            cq.offer(response)
+            jq.offer(backend)
+            return None
+        mapping = self.table.to_nsm(vm_id, nqe.fd)
+        if mapping is None:
+            ring = attachment.completion_queue
+            nqe = nqe.completion(
+                NqeStatus.ERROR,
+                result=RuntimeError(f"no mapping for fd {nqe.fd}"),
+            )
+        else:
+            nqe.nsm_id, nqe.cid = mapping
+            ring = nsm_queues.job
+        if ring.is_full:
+            return self._forward_slow(ring, nqe)
+        ring.offer(nqe)
+        return None
+
+    def _socket_switch_slow(self, cq: NqeRing, response: Nqe, jq: NqeRing, backend: Nqe):
+        """SOCKET switch under backpressure: wait on each full ring in turn."""
+        yield cq.push(response)
+        yield jq.push(backend)
+
+    def _switch_completion_nqe(self, nsm: NSM, nqe: Nqe):
+        vm_key = self.table.to_vm(nsm.nsm_id, nqe.cid)
+        if vm_key is None:
+            if nqe.data_desc is not None:  # teardown race: release huge pages
+                nqe.data_desc.free()
+            return None
+        vm_id, fd = vm_key
+        attachment = self._vms.get(vm_id)
+        if attachment is None:
+            if nqe.data_desc is not None:  # VM went away mid-flight
+                nqe.data_desc.free()
+            return None
+        nqe.vm_id, nqe.fd = vm_id, fd
+        if nqe.args is NqeOp.CLOSE:
+            self.table.remove_by_vm(vm_id, fd)
+        ring = attachment.completion_queue
+        if ring.is_full:
+            return self._forward_slow(ring, nqe)
+        ring.offer(nqe)
+        return None
+
+    def _switch_receive_nqe(self, nsm: NSM, nqe: Nqe):
+        vm_key = self.table.to_vm(nsm.nsm_id, nqe.cid)
+        if vm_key is None:
+            if nqe.data_desc is not None:
+                nqe.data_desc.free()
+            return None
+        vm_id, fd = vm_key
+        attachment = self._vms.get(vm_id)
+        if attachment is None:
+            # Teardown race: the mapping outlived the VM.  The huge-page
+            # descriptor must still be released or the region leaks one
+            # chunk per in-flight DATA nqe.
+            if nqe.data_desc is not None:
+                nqe.data_desc.free()
+            return None
+        nqe.vm_id, nqe.fd = vm_id, fd
+        if nqe.op is NqeOp.ACCEPT_EVENT:
+            # Generate a guest fd for the new flow (§3.2).
+            child_cid = nqe.result
+            child_fd = self.table.allocate_fd(vm_id)
+            self.table.insert(vm_id, child_fd, nsm.nsm_id, child_cid)
+            nqe.result = child_fd
+        ring = attachment.receive_queue
+        if ring.is_full:
+            return self._forward_slow(ring, nqe)
+        ring.offer(nqe)
+        return None
+
+    # -- drain loops --------------------------------------------------------
+    def _mover(self, ring: NqeRing, direction: str, switch_nqe):
+        """One unbatched mover loop: per-nqe copy cost, as the prototype.
+
+        ``switch_nqe(nqe)`` is the per-nqe switch body; it returns a
+        generator to delegate to only when a destination ring is full.
+        Each nqe charges one ``core.execute`` of ``nqe_copy_ns``, exactly
+        as the original datapath did.
+        """
+        interrupt = self.config.notify_mode is NotifyMode.BATCHED_INTERRUPT
+        copy_cost = self.config.nqe_copy_ns * NANOS
+        execute = self.core.execute
+        wait_nonempty = ring.wait_nonempty
+        pop_batch = ring.pop_batch
         while True:
-            yield from self._consume(attachment.job_queue)
-            for nqe in attachment.job_queue.pop_batch():
+            yield wait_nonempty()
+            if interrupt:
+                yield self.sim.timeout(INTERRUPT_DELAY)
+                yield execute(INTERRUPT_COST_NS * NANOS)
+            for nqe in pop_batch():
                 if self._traced:
-                    started, span = self._begin_switch(nqe, "job")
+                    started, span = self._begin_switch(nqe, direction)
                 else:
                     started = span = None
                 try:
-                    yield self._copy_cost()
-                    if nqe.op is NqeOp.SOCKET:
-                        # Assign the fd immediately (§3.2) ...
-                        fd = self.table.allocate_fd(vm_id)
-                        response = nqe.completion(NqeStatus.OK, result=fd)
-                        response.fd = fd
-                        yield attachment.completion_queue.push(response)
-                        # ... and independently request a backend socket.
-                        cid = self.table.allocate_cid(nsm.nsm_id)
-                        self.table.insert(vm_id, fd, nsm.nsm_id, cid)
-                        yield nsm_queues.job.push(
-                            Nqe(
-                                op=NqeOp.SOCKET,
-                                vm_id=vm_id,
-                                fd=fd,
-                                nsm_id=nsm.nsm_id,
-                                cid=cid,
-                                args=attachment.region,
-                                span=nqe.span,
-                            )
-                        )
-                        continue
-                    mapping = self.table.to_nsm(vm_id, nqe.fd)
-                    if mapping is None:
-                        yield attachment.completion_queue.push(
-                            nqe.completion(
-                                NqeStatus.ERROR,
-                                result=RuntimeError(f"no mapping for fd {nqe.fd}"),
-                            )
-                        )
-                        continue
-                    nqe.nsm_id, nqe.cid = mapping
-                    yield nsm_queues.job.push(nqe)
+                    self.nqes_copied += 1
+                    yield execute(copy_cost)
+                    blocked = switch_nqe(nqe)
+                    if blocked is not None:
+                        yield from blocked
                 finally:
                     if started is not None:
                         self._end_switch(started, span)
 
-    def _nsm_completion_mover(self, nsm: NSM, queues: _NsmQueues):
-        """NSM completion queue -> owning VM's completion queue."""
+    def _mover_batched(self, ring: NqeRing, direction: str, switch_nqe):
+        """One batched mover loop: a drained burst of N nqes charges
+        ``per_batch_ns + N*per_nqe_ns`` in a single ``core.execute``.
+
+        Every nqe still counts in ``nqes_copied`` and (when traced) in
+        ``coreengine.nqes_switched`` — accounting matches unbatched runs.
+        """
+        policy = self.config.coreengine_batch()
+        burst = policy.batch_size
+        per_batch = policy.per_batch_ns * NANOS
+        per_nqe = policy.per_nqe_ns * NANOS
+        per_nqe_ns = policy.per_nqe_ns
+        interrupt = self.config.notify_mode is NotifyMode.BATCHED_INTERRUPT
+        execute = self.core.execute
+        wait_nonempty = ring.wait_nonempty
+        pop_batch = ring.pop_batch
         while True:
-            yield from self._consume(queues.completion)
-            for nqe in queues.completion.pop_batch():
+            yield wait_nonempty()
+            if interrupt:
+                yield self.sim.timeout(INTERRUPT_DELAY)
+                yield execute(INTERRUPT_COST_NS * NANOS)
+            batch = pop_batch(burst)
+            n = len(batch)
+            if n == 0:
+                continue
+            self.nqes_copied += n
+            yield execute(per_batch + n * per_nqe)
+            for nqe in batch:
                 if self._traced:
-                    started, span = self._begin_switch(nqe, "cq")
+                    started, span = self._begin_switch(nqe, direction, per_nqe_ns)
                 else:
                     started = span = None
                 try:
-                    yield self._copy_cost()
-                    vm_key = self.table.to_vm(nsm.nsm_id, nqe.cid)
-                    if vm_key is None:
-                        continue  # race with teardown
-                    vm_id, fd = vm_key
-                    attachment = self._vms.get(vm_id)
-                    if attachment is None:
-                        continue
-                    nqe.vm_id, nqe.fd = vm_id, fd
-                    if nqe.args is NqeOp.CLOSE:
-                        self.table.remove_by_vm(vm_id, fd)
-                    yield attachment.completion_queue.push(nqe)
+                    blocked = switch_nqe(nqe)
+                    if blocked is not None:
+                        yield from blocked
                 finally:
                     if started is not None:
                         self._end_switch(started, span)
 
-    def _nsm_receive_mover(self, nsm: NSM, queues: _NsmQueues):
-        """NSM receive queue -> owning VM's receive queue."""
-        while True:
-            yield from self._consume(queues.receive)
-            for nqe in queues.receive.pop_batch():
-                if self._traced:
-                    started, span = self._begin_switch(nqe, "rq")
-                else:
-                    started = span = None
-                try:
-                    yield self._copy_cost()
-                    vm_key = self.table.to_vm(nsm.nsm_id, nqe.cid)
-                    if vm_key is None:
-                        if nqe.data_desc is not None:
-                            nqe.data_desc.free()
-                        continue
-                    vm_id, fd = vm_key
-                    attachment = self._vms.get(vm_id)
-                    if attachment is None:
-                        continue
-                    nqe.vm_id, nqe.fd = vm_id, fd
-                    if nqe.op is NqeOp.ACCEPT_EVENT:
-                        # Generate a guest fd for the new flow (§3.2).
-                        child_cid = nqe.result
-                        child_fd = self.table.allocate_fd(vm_id)
-                        self.table.insert(vm_id, child_fd, nsm.nsm_id, child_cid)
-                        nqe.result = child_fd
-                    yield attachment.receive_queue.push(nqe)
-                finally:
-                    if started is not None:
+    def _start_mover(self, ring: NqeRing, direction: str, switch_nqe, name: str):
+        """Attach the switch datapath for one ring.
+
+        Polling mode gets an event-driven :class:`RingPump` /
+        :class:`BatchRingPump` (no doorbell events, no generator frames);
+        interrupt mode keeps the poll-loop process, whose explicit
+        doorbell wait is where the interrupt delay and cost are modelled.
+        """
+        if self.config.notify_mode is not NotifyMode.POLLING:
+            loop = self._mover_batched if self.config.batching else self._mover
+            self.sim.process(loop(ring, direction, switch_nqe), name=name)
+            return
+        if self.config.batching:
+            policy = self.config.coreengine_batch()
+            per_nqe_ns = policy.per_nqe_ns
+            if self._traced:
+
+                def handle(nqe):
+                    started, span = self._begin_switch(nqe, direction, per_nqe_ns)
+                    blocked = switch_nqe(nqe)
+                    if blocked is None:
                         self._end_switch(started, span)
+                        return None
+                    return self._switch_traced_slow(blocked, started, span)
+
+            else:
+                handle = switch_nqe
+
+            def pre_batch(n):
+                self.nqes_copied += n
+
+            BatchRingPump(
+                ring,
+                self.core,
+                policy.batch_size,
+                policy.per_batch_ns * NANOS,
+                policy.per_nqe_ns * NANOS,
+                handle,
+                pre_batch,
+            )
+            return
+        if self._traced:
+
+            def pre(nqe):
+                self.nqes_copied += 1
+                return self._begin_switch(nqe, direction)
+
+            def post(token):
+                self._end_switch(token[0], token[1])
+
+        else:
+
+            def pre(nqe):
+                self.nqes_copied += 1
+                return None
+
+            post = None
+
+        def handle(nqe, _token):
+            return switch_nqe(nqe)
+
+        RingPump(ring, self.core, self.config.nqe_copy_ns * NANOS, handle, pre, post)
+
+    def _switch_traced_slow(self, blocked, started, span):
+        yield from blocked
+        self._end_switch(started, span)
 
     # -------------------------------------------------------------- inspection --
     def attachment_of(self, vm_id: int) -> VmAttachment:

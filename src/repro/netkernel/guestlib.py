@@ -22,9 +22,10 @@ from ..host.cpu import Core
 from ..net import Endpoint
 from ..obs import runtime as obs_runtime
 from ..sim import Event, NANOS, Simulator
+from .batching import BatchPolicy
 from .hugepages import HugeChunk, HugePageRegion
 from .nqe import Nqe, NqeOp, NqeStatus
-from .queues import NotifyMode, NqeRing
+from .queues import BatchRingPump, NotifyMode, NqeRing, RingPump
 
 __all__ = ["GuestLib", "GUESTLIB_OP_NS"]
 
@@ -86,6 +87,7 @@ class GuestLib(SocketApi):
         region: HugePageRegion,
         notify_mode: NotifyMode = NotifyMode.POLLING,
         inline_rx_copy: bool = False,
+        batch: Optional[BatchPolicy] = None,
     ) -> None:
         self.sim = sim
         self.vm_id = vm_id
@@ -102,13 +104,28 @@ class GuestLib(SocketApi):
         #: prototype's polling design) — subsequent nqes wait behind the
         #: copy, which is the §3.2 head-of-line-blocking regime.
         self.inline_rx_copy = inline_rx_copy
+        #: Amortized poll-loop cost model; ``None``/size-1 = original
+        #: one-``core.execute``-per-nqe behavior (bit-identical).
+        self.batch = batch if batch is not None else BatchPolicy()
         self._sockets: Dict[int, _GuestSocket] = {}
         self._pending: Dict[int, Event] = {}  # token -> API event
         self.calls_issued = 0
         self.tracer = obs_runtime.get_tracer()
         self._traced = self.tracer.enabled
-        sim.process(self._completion_loop(), name=f"vm{vm_id}.guestlib.cq")
-        sim.process(self._receive_loop(), name=f"vm{vm_id}.guestlib.rq")
+        if notify_mode is NotifyMode.POLLING:
+            # Polling fast path: event-driven pump (same simulated charges
+            # as the poll loop, no doorbell events or generator frames).
+            self._start_completion_pump()
+        else:
+            sim.process(self._completion_loop(), name=f"vm{vm_id}.guestlib.cq")
+        #: Pump-mode receive path: descriptor handling is synchronous and
+        #: reader copies chain as direct calls.  Inline-copy mode keeps the
+        #: generator loop — its copies block the loop by design (§3.2 HoL).
+        self._rx_pump = notify_mode is NotifyMode.POLLING and not inline_rx_copy
+        if self._rx_pump:
+            self._start_receive_pump()
+        else:
+            sim.process(self._receive_loop(), name=f"vm{vm_id}.guestlib.rq")
 
     # ---------------------------------------------------------------- helpers --
     def _get(self, fd: int) -> _GuestSocket:
@@ -134,8 +151,7 @@ class GuestLib(SocketApi):
             tracer.count("guestlib.ops")
         result = Event(self.sim)
         self._pending[nqe.token] = result
-        charge = self.core.execute(GUESTLIB_OP_NS * NANOS)
-        charge.add_callback(lambda _ev: self.job_queue.push(nqe))
+        self.core.execute_call(GUESTLIB_OP_NS * NANOS, self.job_queue.offer, nqe)
         return result
 
     # ---------------------------------------------------------------- SocketApi --
@@ -184,16 +200,14 @@ class GuestLib(SocketApi):
         return result
 
     def send(self, fd: int, nbytes: int) -> Event:
+        # Stage data into the shared huge pages (copy cost on the VM core),
+        # then describe it with a SEND nqe.  The common (space available)
+        # path is a single chained direct call — no process frame; only an
+        # exhausted region falls back to a blocking generator.
         sock = self._get(fd)
         if sock.closed:
             raise InvalidSocketState(f"fd {fd} is closed")
         api_event = Event(self.sim)
-        self.sim.process(self._send_proc(sock, nbytes, api_event))
-        return api_event
-
-    def _send_proc(self, sock: _GuestSocket, nbytes: int, api_event: Event):
-        # Stage data into the shared huge pages (copy cost on the VM core),
-        # then describe it with a SEND nqe.
         root = stage = None
         if self._traced:
             tracer = self.tracer
@@ -202,8 +216,25 @@ class GuestLib(SocketApi):
             if root is not None:
                 root.annotate(bytes=nbytes)
                 stage = root.child("hugepage.stage", "hugepage")
+        region = self.region
+        if nbytes <= region.free_bytes:
+            chunk = region.try_alloc(nbytes)
+            region.copy_call(
+                self.core, nbytes, self._send_staged,
+                sock, nbytes, chunk, api_event, root, stage,
+            )
+        else:  # region exhausted: block until space frees
+            self.sim.process(self._send_proc(sock, nbytes, api_event, root, stage))
+        return api_event
+
+    def _send_proc(self, sock: _GuestSocket, nbytes: int, api_event: Event, root, stage):
         chunk = yield self.region.alloc(nbytes)
         yield self.region.copy(self.core, nbytes)
+        self._send_staged(sock, nbytes, chunk, api_event, root, stage)
+
+    def _send_staged(
+        self, sock: _GuestSocket, nbytes: int, chunk, api_event: Event, root, stage
+    ) -> None:
         if stage is not None:
             stage.end()
         result = self._issue(
@@ -268,7 +299,35 @@ class GuestLib(SocketApi):
         return self._get(fd).readable
 
     # --------------------------------------------------------- queue consumers --
+    def _start_completion_pump(self) -> None:
+        """Polling-mode completion consumer as an event-driven pump."""
+        if self.batch.enabled:
+            policy = self.batch
+
+            def handle(nqe):
+                self._handle_completion(nqe)
+                return None
+
+            BatchRingPump(
+                self.completion_queue,
+                self.core,
+                policy.batch_size,
+                policy.per_batch_ns * NANOS,
+                policy.per_nqe_ns * NANOS,
+                handle,
+            )
+            return
+
+        def handle(nqe, _token):
+            self._handle_completion(nqe)
+            return None
+
+        RingPump(self.completion_queue, self.core, GUESTLIB_OP_NS * NANOS, handle)
+
     def _completion_loop(self):
+        if self.batch.enabled:
+            yield from self._completion_loop_batched()
+            return
         while True:
             yield self.completion_queue.wait_nonempty()
             if self.notify_mode is NotifyMode.BATCHED_INTERRUPT:
@@ -276,6 +335,21 @@ class GuestLib(SocketApi):
                 yield self.core.execute(INTERRUPT_COST_NS * NANOS)
             for nqe in self.completion_queue.pop_batch():
                 yield self.core.execute(GUESTLIB_OP_NS * NANOS)
+                self._handle_completion(nqe)
+
+    def _completion_loop_batched(self):
+        """Drain a burst, charge ``per_batch + N*per_nqe`` once, handle all."""
+        policy = self.batch
+        while True:
+            yield self.completion_queue.wait_nonempty()
+            if self.notify_mode is NotifyMode.BATCHED_INTERRUPT:
+                yield self.sim.timeout(INTERRUPT_DELAY)
+                yield self.core.execute(INTERRUPT_COST_NS * NANOS)
+            batch = self.completion_queue.pop_batch(policy.batch_size)
+            if not batch:
+                continue
+            yield self.core.execute(policy.burst_ns(len(batch)) * NANOS)
+            for nqe in batch:
                 self._handle_completion(nqe)
 
     def _handle_completion(self, nqe: Nqe) -> None:
@@ -292,7 +366,84 @@ class GuestLib(SocketApi):
                 error = SocketError(str(error))
             event.fail(error)
 
+    def _start_receive_pump(self) -> None:
+        """Polling-mode receive consumer as an event-driven pump.
+
+        Handling is synchronous (:meth:`_handle_receive_fast`); reader
+        copies chain through the core's direct-call slot, which preserves
+        the generator loop's ``busy_until`` accounting exactly.
+        """
+        if self.batch.enabled:
+            policy = self.batch
+            per_nqe_ns = policy.per_nqe_ns
+
+            def handle_batched(nqe):
+                span = nqe.span
+                if span is not None:
+                    deliver = span.child("guestlib.deliver", "guestlib")
+                    if deliver is not None:
+                        deliver.cpu(per_nqe_ns)
+                    self._handle_receive_fast(nqe)
+                    if deliver is not None:
+                        deliver.end()
+                    span.end()
+                    return None
+                self._handle_receive_fast(nqe)
+                return None
+
+            BatchRingPump(
+                self.receive_queue,
+                self.core,
+                policy.batch_size,
+                policy.per_batch_ns * NANOS,
+                policy.per_nqe_ns * NANOS,
+                handle_batched,
+            )
+            return
+
+        if self._traced:
+
+            def pre(nqe):
+                span = nqe.span
+                if span is None:
+                    return None
+                deliver = span.child("guestlib.deliver", "guestlib")
+                if deliver is not None:
+                    deliver.cpu(GUESTLIB_OP_NS)
+                return (deliver, span)
+
+            def post(token):
+                if token is None:
+                    return
+                deliver, span = token
+                if deliver is not None:
+                    deliver.end()
+                span.end()
+
+            def handle(nqe, _token):
+                self._handle_receive_fast(nqe)
+                return None
+
+            RingPump(
+                self.receive_queue,
+                self.core,
+                GUESTLIB_OP_NS * NANOS,
+                handle,
+                pre,
+                post,
+            )
+            return
+
+        def handle(nqe, _token):
+            self._handle_receive_fast(nqe)
+            return None
+
+        RingPump(self.receive_queue, self.core, GUESTLIB_OP_NS * NANOS, handle)
+
     def _receive_loop(self):
+        if self.batch.enabled:
+            yield from self._receive_loop_batched()
+            return
         while True:
             yield self.receive_queue.wait_nonempty()
             if self.notify_mode is NotifyMode.BATCHED_INTERRUPT:
@@ -305,6 +456,35 @@ class GuestLib(SocketApi):
                     if deliver is not None:
                         deliver.cpu(GUESTLIB_OP_NS)
                 yield self.core.execute(GUESTLIB_OP_NS * NANOS)
+                yield from self._handle_receive(nqe)
+                if deliver is not None:
+                    deliver.end()
+                if nqe.span is not None:
+                    nqe.span.end()
+
+    def _receive_loop_batched(self):
+        """Burst-charge the nqe handling; bulk-data copies stay per-nqe.
+
+        The amortized cost covers descriptor handling only — huge-page
+        copies inside :meth:`_handle_receive` are real per-byte work and
+        are still charged where the data moves.
+        """
+        policy = self.batch
+        while True:
+            yield self.receive_queue.wait_nonempty()
+            if self.notify_mode is NotifyMode.BATCHED_INTERRUPT:
+                yield self.sim.timeout(INTERRUPT_DELAY)
+                yield self.core.execute(INTERRUPT_COST_NS * NANOS)
+            batch = self.receive_queue.pop_batch(policy.batch_size)
+            if not batch:
+                continue
+            yield self.core.execute(policy.burst_ns(len(batch)) * NANOS)
+            for nqe in batch:
+                deliver = None
+                if self._traced and nqe.span is not None:
+                    deliver = nqe.span.child("guestlib.deliver", "guestlib")
+                    if deliver is not None:
+                        deliver.cpu(policy.per_nqe_ns)
                 yield from self._handle_receive(nqe)
                 if deliver is not None:
                     deliver.end()
@@ -338,6 +518,39 @@ class GuestLib(SocketApi):
                 sock.accept_ready.append(child_fd)
         self._wake_watchers(sock)
 
+    def _handle_receive_fast(self, nqe: Nqe) -> None:
+        """Synchronous :meth:`_handle_receive` for the pump path.
+
+        Requires ``inline_rx_copy`` off (the pump is not started
+        otherwise): the only blocking step left — the recv-side copy out
+        of the huge pages — is chained via :meth:`_drain_readers_fast`.
+        """
+        sock = self._sockets.get(nqe.fd)
+        if sock is None:
+            if nqe.data_desc is not None:
+                nqe.data_desc.free()
+            return
+        op = nqe.op
+        if op is NqeOp.DATA:
+            if self._traced:
+                self.tracer.count("guestlib.rx_bytes", nqe.data_desc.size)
+            sock.rx_chunks.append([nqe.data_desc, nqe.data_desc.size])
+            sock.rx_available += nqe.data_desc.size
+            if sock.readers:
+                self._drain_readers_fast(sock)
+        elif op is NqeOp.EOF:
+            sock.eof = True
+            if sock.readers:
+                self._drain_readers_fast(sock)
+        elif op is NqeOp.ACCEPT_EVENT:
+            child_fd = nqe.result
+            self._sockets[child_fd] = _GuestSocket(child_fd, connected=True)
+            if sock.acceptors:
+                sock.acceptors.popleft().succeed(child_fd)
+            else:
+                sock.accept_ready.append(child_fd)
+        self._wake_watchers(sock)
+
     def _wake_watchers(self, sock: _GuestSocket) -> None:
         if sock.watchers and sock.readable:
             watchers, sock.watchers = sock.watchers, []
@@ -347,7 +560,48 @@ class GuestLib(SocketApi):
     # -- reader satisfaction (copies data out of huge pages) -----------------
     def _drain_readers(self, sock: _GuestSocket) -> None:
         if sock.readers and (sock.rx_available > 0 or sock.eof):
-            self.sim.process(self._drain_readers_gen(sock))
+            if self._rx_pump:
+                self._drain_readers_fast(sock)
+            else:
+                self.sim.process(self._drain_readers_gen(sock))
+
+    def _drain_readers_fast(self, sock: _GuestSocket) -> None:
+        """:meth:`_drain_readers_gen` without the process frame.
+
+        Byte accounting happens up front; each reader's copy is charged
+        as a chained direct call on the VM core, whose FIFO ``busy_until``
+        serialization gives the same completion times as the generator's
+        one-copy-per-resume sequence.
+        """
+        while sock.readers and (sock.rx_available > 0 or sock.eof):
+            max_bytes, event = sock.readers.popleft()
+            taken = 0
+            rx_chunks = sock.rx_chunks
+            while rx_chunks and taken < max_bytes:
+                entry = rx_chunks[0]  # [chunk, bytes remaining]
+                take = min(entry[1], max_bytes - taken)
+                entry[1] -= take
+                taken += take
+                if entry[1] == 0:
+                    rx_chunks.popleft()
+                    entry[0].free()
+            sock.rx_available -= taken
+            if taken > 0:
+                copy_span = None
+                if self._traced:
+                    copy_span = self.tracer.span(
+                        "guestlib.recv_copy", "guestlib", tenant=self.vm_id
+                    )
+                self.region.copy_call(
+                    self.core, taken, self._finish_read, event, taken, copy_span
+                )
+            else:
+                event.succeed(taken)
+
+    def _finish_read(self, event: Event, taken: int, copy_span) -> None:
+        if copy_span is not None:
+            copy_span.annotate(bytes=taken).end()
+        event.succeed(taken)
 
     def _drain_readers_gen(self, sock: _GuestSocket):
         while sock.readers and (sock.rx_available > 0 or sock.eof):

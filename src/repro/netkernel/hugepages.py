@@ -125,6 +125,18 @@ class HugePageRegion:
         Returns an event firing when the copy completes.  This is the
         GuestLib↔huge-page↔ServiceLib data movement of §3.2.
         """
+        return core.execute(self._copy_cost(nbytes, chunk_size))
+
+    def copy_call(self, core: Core, nbytes: int, func, *args) -> Event:
+        """:meth:`copy`, then ``func(*args)`` — no closure, no process.
+
+        The continuation rides the timeout's direct-call slot (the same
+        fast path as ``Core.execute_call``); use it when the caller has
+        nothing else to do while the memcpy completes.
+        """
+        return core.execute_call(self._copy_cost(nbytes, CHUNK_SIZE), func, *args)
+
+    def _copy_cost(self, nbytes: int, chunk_size: int) -> float:
         if nbytes < 0:
             raise ValueError("negative copy size")
         full, rest = divmod(nbytes, chunk_size)
@@ -137,4 +149,4 @@ class HugePageRegion:
             tracer.count("hugepage.bytes", nbytes)
             tracer.histogram("hugepage.copy_ns").record(cost * 1e9)
             tracer.high_water(f"hugepage.peak_used.{self.name}", self.peak_used)
-        return core.execute(cost)
+        return cost

@@ -69,12 +69,14 @@ CONNECTION_EVENT_OPS = frozenset(
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class Nqe:
     """One queue element.
 
     ``token`` correlates a completion with the call that issued it (the
     real prototype uses the queue slot; an explicit token is clearer).
+    Slotted: millions of nqes flow through a long run, and the fixed-size
+    descriptor matches the prototype's fixed-size queue element anyway.
     """
 
     op: NqeOp

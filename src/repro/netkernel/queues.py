@@ -24,7 +24,7 @@ from ..obs import runtime as obs_runtime
 from ..sim import Event, Simulator
 from .nqe import Nqe
 
-__all__ = ["NotifyMode", "NqeRing", "PriorityNqeRing"]
+__all__ = ["NotifyMode", "NqeRing", "PriorityNqeRing", "RingPump", "BatchRingPump"]
 
 
 class NotifyMode(enum.Enum):
@@ -56,22 +56,27 @@ class NqeRing:
         self._items: Deque[Nqe] = deque()
         self._putters: Deque[Tuple[Event, Nqe]] = deque()
         self._doorbells: List[Event] = []
+        #: Mirrors the queued-element count so the hot paths read one int
+        #: attribute instead of dispatching ``__len__`` (PriorityNqeRing
+        #: splits elements over two deques).
+        self._count = 0
+        self._pump_notify = None
         self.total_pushed = 0
         self.total_popped = 0
         self.high_watermark = 0
 
     def __len__(self) -> int:
-        return len(self._items)
+        return self._count
 
     @property
     def is_full(self) -> bool:
-        return len(self) >= self.capacity
+        return self._count >= self.capacity
 
     # -- producer -----------------------------------------------------------
     def push(self, nqe: Nqe) -> Event:
         """Enqueue; the event fires when the ring has accepted the element."""
         event = Event(self.sim)
-        if not self.is_full:
+        if self._count < self.capacity:
             self._accept(nqe)
             event.succeed()
         else:
@@ -82,24 +87,46 @@ class NqeRing:
 
     def try_push(self, nqe: Nqe) -> bool:
         """Non-blocking push; False when the ring is full."""
-        if self.is_full:
+        if self._count >= self.capacity:
             return False
         self._accept(nqe)
         return True
 
+    def offer(self, nqe: Nqe) -> None:
+        """Fire-and-forget push: like :meth:`push` with the event discarded.
+
+        The element is accepted immediately, or queued behind the ring's
+        backpressure list when full — identical ordering to ``push`` —
+        without allocating and scheduling a completion event nobody waits
+        on.  This is the fast path for producers that cannot usefully
+        block (completion/receive callbacks).
+        """
+        if self._count < self.capacity:
+            self._accept(nqe)
+        else:
+            if self._traced:
+                self.tracer.count(f"queue.{self.kind}.full_waits")
+            self._putters.append((None, nqe))
+
     def _accept(self, nqe: Nqe) -> None:
         self._enqueue(nqe)
+        count = self._count + 1
+        self._count = count
         self.total_pushed += 1
-        self.high_watermark = max(self.high_watermark, len(self))
+        if count > self.high_watermark:
+            self.high_watermark = count
         if self._traced:
             tracer = self.tracer
             nqe.enqueued_at = self.sim.now
             tracer.count(f"queue.{self.kind}.pushed")
-            tracer.high_water(f"queue.hwm.{self.name}", len(self))
+            tracer.high_water(f"queue.hwm.{self.name}", count)
         if self._doorbells:
             doorbells, self._doorbells = self._doorbells, []
             for doorbell in doorbells:
                 doorbell.succeed()
+        notify = self._pump_notify
+        if notify is not None:
+            notify()
 
     def _enqueue(self, nqe: Nqe) -> None:
         self._items.append(nqe)
@@ -109,26 +136,33 @@ class NqeRing:
 
     # -- consumer ---------------------------------------------------------------
     def try_pop(self) -> Optional[Nqe]:
-        if len(self) == 0:
+        if self._count == 0:
             return None
         nqe = self._dequeue()
+        self._count -= 1
         self.total_popped += 1
         if self._traced:
             self._record_pop(nqe)
-        self._admit_waiting_putters()
+        if self._putters:
+            self._admit_waiting_putters()
         return nqe
 
     def pop_batch(self, max_items: int = 64) -> List[Nqe]:
         """Drain up to ``max_items`` (batched-interrupt consumers)."""
+        take = self._count
+        if take > max_items:
+            take = max_items
         batch: List[Nqe] = []
         traced = self._traced
-        while len(self) > 0 and len(batch) < max_items:
+        for _ in range(take):
             nqe = self._dequeue()
-            self.total_popped += 1
             if traced:
                 self._record_pop(nqe)
             batch.append(nqe)
-        self._admit_waiting_putters()
+        self._count -= take
+        self.total_popped += take
+        if self._putters:
+            self._admit_waiting_putters()
         return batch
 
     def _record_pop(self, nqe: Nqe) -> None:
@@ -155,17 +189,30 @@ class NqeRing:
     def wait_nonempty(self) -> Event:
         """Doorbell: fires when at least one element is (or becomes) queued."""
         event = Event(self.sim)
-        if len(self) > 0:
+        if self._count > 0:
             event.succeed()
         else:
             self._doorbells.append(event)
         return event
 
+    def attach_pump(self, notify) -> None:
+        """Register an event-driven consumer (:class:`RingPump`).
+
+        ``notify`` is invoked synchronously from ``_accept`` whenever an
+        element lands in the ring; the pump ignores the call unless it is
+        idle.  This replaces the doorbell-Event-per-wakeup of poll-loop
+        consumers.  One pump per ring; doorbells still work alongside it.
+        """
+        self._pump_notify = notify
+        if self._count:
+            notify()
+
     def _admit_waiting_putters(self) -> None:
         while self._putters and not self.is_full:
             event, nqe = self._putters.popleft()
             self._accept(nqe)
-            event.succeed()
+            if event is not None:
+                event.succeed()
 
 
 class PriorityNqeRing(NqeRing):
@@ -175,9 +222,6 @@ class PriorityNqeRing(NqeRing):
         super().__init__(sim, capacity, name)
         self._conn_items: Deque[Nqe] = deque()
         self._data_items: Deque[Nqe] = deque()
-
-    def __len__(self) -> int:
-        return len(self._conn_items) + len(self._data_items)
 
     def _enqueue(self, nqe: Nqe) -> None:
         if nqe.is_connection_event:
@@ -189,3 +233,140 @@ class PriorityNqeRing(NqeRing):
         if self._conn_items:
             return self._conn_items.popleft()
         return self._data_items.popleft()
+
+
+class RingPump:
+    """Event-driven ring consumer: the polling datapath's fast path.
+
+    Semantically equivalent to the classic poll-loop process::
+
+        while True:
+            yield ring.wait_nonempty()
+            for nqe in ring.pop_batch():
+                yield core.execute(cost)
+                handle(nqe)
+
+    but driven by callbacks instead of a generator: the ring notifies the
+    pump on the push that makes it non-empty, and the pump then chains
+    itself through the timeout direct-call slot — charge ``cost`` on the
+    core, handle the nqe, pop the next.  The core's FIFO accounting
+    serializes the charges exactly as the poll loop did (each charge is
+    issued at the simulated instant the previous one finished), so
+    simulated results are identical; what disappears is wall-clock
+    machinery: no doorbell Event per wakeup, no generator frame resume
+    per handled nqe.
+
+    Hooks (both optional): ``pre(nqe) -> token`` runs at pop time before
+    the charge (open a span, bump a counter); ``handle(nqe, token)`` runs
+    after the charge and may return a generator for a *blocking* slow
+    path (ring full downstream), which the pump drains in a throwaway
+    process; ``post(token)`` runs once the nqe is fully handled.
+    """
+
+    __slots__ = ("ring", "core", "cost", "handle", "pre", "post", "idle", "_token")
+
+    def __init__(self, ring, core, cost_seconds, handle, pre=None, post=None):
+        self.ring = ring
+        self.core = core
+        self.cost = cost_seconds
+        self.handle = handle
+        self.pre = pre
+        self.post = post
+        self.idle = True
+        self._token = None
+        ring.attach_pump(self.notify)
+
+    def notify(self) -> None:
+        if self.idle:
+            self.idle = False
+            self._next()
+
+    def _next(self) -> None:
+        nqe = self.ring.try_pop()
+        if nqe is None:
+            self.idle = True
+            return
+        pre = self.pre
+        if pre is not None:
+            self._token = pre(nqe)
+        timeout = self.core.execute(self.cost)
+        timeout._call = self._charged
+        timeout._call_args = (nqe,)
+
+    def _charged(self, nqe) -> None:
+        token, self._token = self._token, None
+        blocked = self.handle(nqe, token)
+        if blocked is not None:
+            self.ring.sim.process(self._drain(blocked, token))
+            return
+        post = self.post
+        if post is not None:
+            post(token)
+        self._next()
+
+    def _drain(self, blocked, token):
+        yield from blocked
+        post = self.post
+        if post is not None:
+            post(token)
+        self._next()
+
+
+class BatchRingPump:
+    """Event-driven burst consumer: one amortized charge per drained burst.
+
+    The batched counterpart of :class:`RingPump`: drains up to ``burst``
+    nqes, charges ``per_batch + N*per_nqe`` seconds in a single
+    ``core.execute``, then handles each nqe.  ``pre_batch(n)`` runs at
+    drain time (accounting); ``handle(nqe)`` may return a generator for
+    the blocking slow path, drained inline in a throwaway process.
+    """
+
+    __slots__ = ("ring", "core", "burst", "per_batch", "per_nqe", "pre_batch", "handle", "idle")
+
+    def __init__(self, ring, core, burst, per_batch_s, per_nqe_s, handle, pre_batch=None):
+        self.ring = ring
+        self.core = core
+        self.burst = burst
+        self.per_batch = per_batch_s
+        self.per_nqe = per_nqe_s
+        self.handle = handle
+        self.pre_batch = pre_batch
+        self.idle = True
+        ring.attach_pump(self.notify)
+
+    def notify(self) -> None:
+        if self.idle:
+            self.idle = False
+            self._next()
+
+    def _next(self) -> None:
+        batch = self.ring.pop_batch(self.burst)
+        n = len(batch)
+        if n == 0:
+            self.idle = True
+            return
+        pre = self.pre_batch
+        if pre is not None:
+            pre(n)
+        timeout = self.core.execute(self.per_batch + n * self.per_nqe)
+        timeout._call = self._charged
+        timeout._call_args = (batch,)
+
+    def _charged(self, batch) -> None:
+        handle = self.handle
+        for index, nqe in enumerate(batch):
+            blocked = handle(nqe)
+            if blocked is not None:
+                self.ring.sim.process(self._drain(blocked, batch, index + 1))
+                return
+        self._next()
+
+    def _drain(self, blocked, batch, start):
+        yield from blocked
+        handle = self.handle
+        for index in range(start, len(batch)):
+            blocked = handle(batch[index])
+            if blocked is not None:
+                yield from blocked
+        self._next()

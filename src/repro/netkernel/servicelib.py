@@ -10,6 +10,7 @@ huge pages and push DATA / ACCEPT_EVENT nqes into the NSM receive queue.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Callable, Dict, Optional
 
 from ..api.errors import SocketError
@@ -18,11 +19,12 @@ from ..obs import runtime as obs_runtime
 from ..sim import NANOS, Simulator
 from ..tcp import Listener, TcpConnection
 from ..tcp.cc import base as cc_base
+from .batching import BatchPolicy
 from .hugepages import HugePageRegion
 from .nqe import Nqe, NqeOp, NqeStatus
 from .nsm import NSM
 from .qos import DrrScheduler, TokenBucket
-from .queues import NotifyMode, NqeRing
+from .queues import BatchRingPump, NotifyMode, NqeRing, RingPump
 
 __all__ = ["ServiceLib", "SERVICELIB_OP_NS", "RX_CHUNK_BYTES"]
 
@@ -61,6 +63,7 @@ class ServiceLib:
         receive_queue: NqeRing,
         allocate_cid: Callable[[], int],
         notify_mode: NotifyMode = NotifyMode.POLLING,
+        batch: Optional[BatchPolicy] = None,
     ) -> None:
         self.sim = sim
         self.nsm = nsm
@@ -72,6 +75,9 @@ class ServiceLib:
         self.workers = getattr(nsm.spec, "servicelib_workers", 1)
         self.core = nsm.cores[0]
         self.op_cost = SERVICELIB_OP_NS * nsm.form.cpu_multiplier * NANOS
+        #: Amortized poll-loop cost model (size 1 = original per-op path);
+        #: the NSM form's cpu multiplier scales burst costs like ``op_cost``.
+        self.batch = batch if batch is not None else BatchPolicy()
         self.rx_chunk = getattr(nsm.spec, "rx_chunk_bytes", RX_CHUNK_BYTES)
         self._backends: Dict[int, _Backend] = {}
         self.ops_handled = 0
@@ -89,7 +95,13 @@ class ServiceLib:
         if self.workers == 1:
             if notify_mode is NotifyMode.POLLING:
                 self.core.busy_poll = True
-            sim.process(self._job_loop(self.core), name=f"{nsm.name}.servicelib")
+            if notify_mode is NotifyMode.POLLING and self._drr is None:
+                # Polling fast path: event-driven pump instead of a
+                # poll-loop process (DRR keeps the loop — its deficit
+                # accounting needs nqe-granular scheduling decisions).
+                self._start_job_pump()
+            else:
+                sim.process(self._job_loop(self.core), name=f"{nsm.name}.servicelib")
         else:
             # Multi-queue mode (§5 future work): ops are sharded by cID so
             # each connection is always served by the same worker (RSS-style),
@@ -117,7 +129,52 @@ class ServiceLib:
                 shard = (nqe.cid or 0) % self.workers
                 self._shards[shard].try_put(nqe)
 
-    def _begin_op(self, nqe: Nqe):
+    def _start_job_pump(self) -> None:
+        """Polling-mode job consumer as an event-driven pump.
+
+        Same charges at the same simulated instants as :meth:`_job_loop`
+        (the NSM core's FIFO accounting serializes them identically), but
+        with no doorbell Event per wakeup and no generator frame per op.
+        """
+        if self.batch.enabled:
+            policy = self.batch
+            multiplier = self.nsm.form.cpu_multiplier
+            per_nqe_ns = policy.per_nqe_ns * multiplier
+
+            def handle(nqe):
+                span = self._begin_op(nqe, per_nqe_ns)
+                self.ops_handled += 1
+                self._dispatch(nqe, span)
+                if span is not None:
+                    span.end()
+                return None
+
+            BatchRingPump(
+                self.job_queue,
+                self.core,
+                policy.batch_size,
+                policy.per_batch_ns * multiplier * NANOS,
+                policy.per_nqe_ns * multiplier * NANOS,
+                handle,
+            )
+            return
+
+        def handle(nqe, span):
+            self.ops_handled += 1
+            self._dispatch(nqe, span)
+            return None
+
+        if self._traced:
+
+            def post(span):
+                if span is not None:
+                    span.end()
+
+            RingPump(self.job_queue, self.core, self.op_cost, handle, self._begin_op, post)
+        else:
+            RingPump(self.job_queue, self.core, self.op_cost, handle)
+
+    def _begin_op(self, nqe: Nqe, cpu_ns: Optional[float] = None):
         """Open the per-op span (covers the NSM-core charge + dispatch)."""
         if not self._traced:
             return None
@@ -127,7 +184,7 @@ class ServiceLib:
             return None
         span = nqe.span.child(f"servicelib.{nqe.op.value}", "servicelib")
         if span is not None:
-            span.cpu(self.op_cost / NANOS)
+            span.cpu(cpu_ns if cpu_ns is not None else self.op_cost / NANOS)
         return span
 
     def _shard_loop(self, index, core):
@@ -142,6 +199,11 @@ class ServiceLib:
                 span.end()
 
     def _job_loop(self, core):
+        if self.batch.enabled and self._drr is None:
+            # Batched fast path; DRR mode keeps per-op service so the
+            # deficit accounting stays at nqe granularity.
+            yield from self._job_loop_batched(core)
+            return
         while True:
             if self._drr is None or len(self._drr) == 0:
                 yield self.job_queue.wait_nonempty()
@@ -173,32 +235,56 @@ class ServiceLib:
                 if span is not None:
                     span.end()
 
+    def _job_loop_batched(self, core):
+        """Drain a burst, charge the amortized cost once, dispatch all.
+
+        ``ops_handled`` still counts every nqe, matching unbatched runs.
+        """
+        policy = self.batch
+        multiplier = self.nsm.form.cpu_multiplier
+        per_nqe_ns = policy.per_nqe_ns * multiplier
+        while True:
+            yield self.job_queue.wait_nonempty()
+            if self.notify_mode is NotifyMode.BATCHED_INTERRUPT:
+                yield self.sim.timeout(INTERRUPT_DELAY)
+                yield core.execute(INTERRUPT_COST_NS * multiplier * NANOS)
+            batch = self.job_queue.pop_batch(policy.batch_size)
+            if not batch:
+                continue
+            yield core.execute(policy.burst_ns(len(batch)) * multiplier * NANOS)
+            for nqe in batch:
+                span = self._begin_op(nqe, per_nqe_ns)
+                self.ops_handled += 1
+                self._dispatch(nqe, span)
+                if span is not None:
+                    span.end()
+
+    #: op -> unbound handler; bound per call (avoids rebuilding the table —
+    #: and seven bound methods — on every dispatched nqe).
+    _OP_HANDLERS = {}  # populated after the class body
+
     def _dispatch(self, nqe: Nqe, span=None) -> None:
-        handler = {
-            NqeOp.SOCKET: self._op_socket,
-            NqeOp.BIND: self._op_bind,
-            NqeOp.LISTEN: self._op_listen,
-            NqeOp.CONNECT: self._op_connect,
-            NqeOp.SEND: self._op_send,
-            NqeOp.CLOSE: self._op_close,
-            NqeOp.SETSOCKOPT: self._op_setsockopt,
-        }.get(nqe.op)
+        op = nqe.op
+        if op is NqeOp.SEND:
+            try:
+                self._op_send(nqe, span)
+            except SocketError as exc:
+                self._complete_error(nqe, exc)
+            return
+        handler = self._OP_HANDLERS.get(op)
         if handler is None:
             self._complete_error(nqe, SocketError(f"bad op {nqe.op}"))
             return
         try:
-            if nqe.op is NqeOp.SEND:
-                handler(nqe, span)
-            else:
-                handler(nqe)
+            handler(self, nqe)
         except SocketError as exc:
             self._complete_error(nqe, exc)
 
     def _complete_ok(self, nqe: Nqe, result=None) -> None:
-        self.completion_queue.push(nqe.completion(NqeStatus.OK, result))
+        self.completion_queue.offer(nqe.completion(NqeStatus.OK, result))
 
     def _complete_error(self, nqe: Nqe, exc: Exception) -> None:
-        self.completion_queue.push(nqe.completion(NqeStatus.ERROR, exc))
+        self.completion_queue.offer(nqe.completion(NqeStatus.ERROR, exc))
 
     def _backend(self, nqe: Nqe) -> _Backend:
         backend = self._backends.get(nqe.cid)
@@ -335,7 +421,7 @@ class ServiceLib:
         if self._traced:
             span = self.tracer.span("servicelib.accept_event", "servicelib")
             self.tracer.count("servicelib.accepts")
-        self.receive_queue.push(
+        self.receive_queue.offer(
             Nqe(
                 op=NqeOp.ACCEPT_EVENT,
                 nsm_id=self.nsm.nsm_id,
@@ -346,42 +432,81 @@ class ServiceLib:
         )
 
     def _start_rx(self, backend: _Backend) -> None:
-        self.sim.process(
-            self._rx_loop(backend), name=f"{self.nsm.name}.rx.cid{backend.cid}"
-        )
+        self._rx_wait(backend)
 
-    def _rx_loop(self, backend: _Backend):
-        """nk_new_data_callback: move received bytes into huge pages."""
+    # nk_new_data_callback, as a chain of direct calls: readiness event ->
+    # read + huge-page stage (chained memcpy charge) -> DATA nqe -> re-arm.
+    # Sequencing matches the old per-cID generator loop exactly — the next
+    # read happens only after the previous chunk's copy has been charged
+    # and its nqe delivered — without a process frame per chunk.  Only the
+    # rare blocking cases (region exhausted, receive ring full) fall back
+    # to a short-lived generator.
+    def _rx_wait(self, backend: _Backend) -> None:
         conn = backend.conn
         assert conn is not None
-        while True:
-            yield conn.recv_buffer.wait_readable()
-            taken = conn.recv_buffer.try_read(self.rx_chunk)
-            if taken is None:
-                continue
-            if taken == 0:  # EOF: stream fully delivered
-                self.receive_queue.push(
-                    Nqe(op=NqeOp.EOF, nsm_id=self.nsm.nsm_id, cid=backend.cid)
-                )
-                return
-            root = stage = None
-            if self._traced:
-                tracer = self.tracer
-                tracer.count("servicelib.rx_bytes", taken)
-                root = tracer.span("servicelib.rx_data", "servicelib")
-                if root is not None:
-                    root.annotate(bytes=taken)
-                    stage = root.child("hugepage.stage", "hugepage")
-            chunk = yield backend.region.alloc(taken)
-            yield backend.region.copy(self.core, taken)
-            if stage is not None:
-                stage.end()
-            yield self.receive_queue.push(
-                Nqe(
-                    op=NqeOp.DATA,
-                    nsm_id=self.nsm.nsm_id,
-                    cid=backend.cid,
-                    data_desc=chunk,
-                    span=root,
-                )
+        conn.recv_buffer.wait_readable().add_callback(
+            partial(self._rx_ready, backend)
+        )
+
+    def _rx_ready(self, backend: _Backend, _event) -> None:
+        taken = backend.conn.recv_buffer.try_read(self.rx_chunk)
+        if taken is None:
+            self._rx_wait(backend)
+            return
+        if taken == 0:  # EOF: stream fully delivered
+            self.receive_queue.offer(
+                Nqe(op=NqeOp.EOF, nsm_id=self.nsm.nsm_id, cid=backend.cid)
             )
+            return
+        root = stage = None
+        if self._traced:
+            tracer = self.tracer
+            tracer.count("servicelib.rx_bytes", taken)
+            root = tracer.span("servicelib.rx_data", "servicelib")
+            if root is not None:
+                root.annotate(bytes=taken)
+                stage = root.child("hugepage.stage", "hugepage")
+        region = backend.region
+        if taken <= region.free_bytes:
+            chunk = region.try_alloc(taken)
+            region.copy_call(
+                self.core, taken, self._rx_staged, backend, chunk, root, stage
+            )
+        else:  # region exhausted: block until space frees
+            self.sim.process(self._rx_alloc_slow(backend, taken, root, stage))
+
+    def _rx_alloc_slow(self, backend: _Backend, taken: int, root, stage):
+        chunk = yield backend.region.alloc(taken)
+        yield backend.region.copy(self.core, taken)
+        self._rx_staged(backend, chunk, root, stage)
+
+    def _rx_staged(self, backend: _Backend, chunk, root, stage) -> None:
+        if stage is not None:
+            stage.end()
+        nqe = Nqe(
+            op=NqeOp.DATA,
+            nsm_id=self.nsm.nsm_id,
+            cid=backend.cid,
+            data_desc=chunk,
+            span=root,
+        )
+        ring = self.receive_queue
+        if ring.is_full:  # backpressure: block delivery, not the ring
+            self.sim.process(self._rx_push_slow(backend, nqe))
+            return
+        ring.offer(nqe)
+        self._rx_wait(backend)
+
+    def _rx_push_slow(self, backend: _Backend, nqe: Nqe):
+        yield self.receive_queue.push(nqe)
+        self._rx_wait(backend)
+
+
+ServiceLib._OP_HANDLERS = {
+    NqeOp.SOCKET: ServiceLib._op_socket,
+    NqeOp.BIND: ServiceLib._op_bind,
+    NqeOp.LISTEN: ServiceLib._op_listen,
+    NqeOp.CONNECT: ServiceLib._op_connect,
+    NqeOp.CLOSE: ServiceLib._op_close,
+    NqeOp.SETSOCKOPT: ServiceLib._op_setsockopt,
+}

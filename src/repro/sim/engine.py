@@ -46,11 +46,20 @@ class Simulator:
     makes runs fully deterministic for a fixed seedless workload.
     """
 
+    #: Free-list bound: enough to cover every in-flight pooled timeout of
+    #: a busy run without letting a burst pin memory forever.
+    _POOL_MAX = 4096
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: List[Tuple[float, int, Event]] = []
         self._counter = count()
         self._active_process: Optional[Process] = None
+        #: Recycled Timeout instances for the kernel-internal pooled path.
+        self._timeout_pool: List[Timeout] = []
+        #: Events processed since construction (perf metric; see
+        #: ``benchmarks/bench_datapath.py``).
+        self.events_processed = 0
 
     # -- clock -------------------------------------------------------------
     @property
@@ -88,14 +97,46 @@ class Simulator:
     def _schedule_event(self, event: Event, delay: float = 0.0) -> None:
         heapq.heappush(self._heap, (self._now + delay, next(self._counter), event))
 
+    def _pooled_timeout(self, delay: float, value: Any = None) -> Timeout:
+        """A Timeout from the free list (kernel-internal fast path).
+
+        Contract: the caller must not retain the returned event past its
+        firing — after its callbacks run, the run loop resets it and hands
+        it to the next ``_pooled_timeout`` call.  Code that needs to hold
+        one longer (composite conditions, ``run_until_event``) clears
+        ``_reusable`` instead.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            timeout = Timeout(self, delay, value)
+            timeout._reusable = True
+            return timeout
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        timeout = pool.pop()
+        timeout.delay = delay
+        if timeout.callbacks is None:
+            timeout.callbacks = []
+        timeout._value = value
+        timeout._ok = True
+        timeout._triggered = True
+        timeout._processed = False
+        heapq.heappush(self._heap, (self._now + delay, next(self._counter), timeout))
+        return timeout
+
     def schedule_call(self, delay: float, func, *args) -> Event:
         """Schedule ``func(*args)`` to run after ``delay`` seconds.
 
         Returns the underlying timeout event.  Convenient for fire-and-forget
-        callbacks without spinning up a full process.
+        callbacks without spinning up a full process.  The call is stored on
+        the timeout itself (no closure, no callbacks-list append), and the
+        timeout comes from the kernel free list — callers must not hold the
+        returned event past its firing (none do; it exists so tests can
+        observe scheduling).
         """
-        timeout = self.timeout(delay)
-        timeout.add_callback(lambda _ev: func(*args))
+        timeout = self._pooled_timeout(delay)
+        timeout._call = func
+        timeout._call_args = args
         return timeout
 
     # -- execution ------------------------------------------------------------
@@ -107,7 +148,14 @@ class Simulator:
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
+        self.events_processed += 1
         event._run_callbacks()
+        if (
+            event.__class__ is Timeout
+            and event._reusable
+            and len(self._timeout_pool) < self._POOL_MAX
+        ):
+            self._timeout_pool.append(event)
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``float('inf')`` if none."""
@@ -119,16 +167,77 @@ class Simulator:
         When ``until`` is given the clock is advanced to exactly ``until``
         even if the last event fires earlier, so measurements spanning
         ``[0, until]`` are well defined.
+
+        The loop body is :meth:`step` inlined (minus the stale-event guard,
+        which the heap invariant makes unreachable from here): one heappop,
+        the event's callbacks, and free-list recycling for pooled timeouts.
+        Event semantics are identical to repeated ``step()`` calls.
         """
-        if until is None:
-            while self._heap:
-                self.step()
-            return
-        if until < self._now:
-            raise ValueError(f"run(until={until}) is in the past (now={self._now})")
-        while self._heap and self._heap[0][0] <= until:
-            self.step()
-        self._now = until
+        heap = self._heap
+        pool = self._timeout_pool
+        pool_max = self._POOL_MAX
+        heappop = heapq.heappop
+        timeout_cls = Timeout
+        processed = 0
+        try:
+            if until is None:
+                while heap:
+                    when, _seq, event = heappop(heap)
+                    self._now = when
+                    processed += 1
+                    if event.__class__ is timeout_cls:
+                        call = event._call
+                        if call is not None and not event.callbacks:
+                            # Direct-call, no waiters: run it here and keep
+                            # the (still empty) callbacks list attached so
+                            # the next pool reuse skips the allocation.
+                            event._call = None
+                            event._processed = True
+                            call(*event._call_args)
+                            event._call_args = ()
+                            if event._reusable and len(pool) < pool_max:
+                                pool.append(event)
+                            continue
+                        event._run_callbacks()
+                        if event._reusable and len(pool) < pool_max:
+                            pool.append(event)
+                    else:
+                        callbacks, event.callbacks = event.callbacks, None
+                        event._processed = True
+                        if callbacks:
+                            for callback in callbacks:
+                                callback(event)
+                return
+            if until < self._now:
+                raise ValueError(
+                    f"run(until={until}) is in the past (now={self._now})"
+                )
+            while heap and heap[0][0] <= until:
+                when, _seq, event = heappop(heap)
+                self._now = when
+                processed += 1
+                if event.__class__ is timeout_cls:
+                    call = event._call
+                    if call is not None and not event.callbacks:
+                        event._call = None
+                        event._processed = True
+                        call(*event._call_args)
+                        event._call_args = ()
+                        if event._reusable and len(pool) < pool_max:
+                            pool.append(event)
+                        continue
+                    event._run_callbacks()
+                    if event._reusable and len(pool) < pool_max:
+                        pool.append(event)
+                else:
+                    callbacks, event.callbacks = event.callbacks, None
+                    event._processed = True
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+            self._now = until
+        finally:
+            self.events_processed += processed
 
     def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
         """Run until ``event`` is processed; return its value.
@@ -137,6 +246,10 @@ class Simulator:
         :class:`SimulationError` if the queue drains or ``limit`` is reached
         first.
         """
+        if isinstance(event, Timeout):
+            # We read ``processed``/``value`` after the event fires; keep it
+            # out of the free list.
+            event._reusable = False
         while not event.processed:
             if not self._heap:
                 raise SimulationError("queue drained before event fired")

@@ -122,7 +122,12 @@ class Process(Event):
             self._die(SimulationError("yielded event belongs to another simulator"))
             return
         self._target = target
-        target.add_callback(self._resume)
+        # Inlined Event.add_callback — one call saved per process suspension.
+        callbacks = target.callbacks
+        if callbacks is None:
+            self._resume(target)
+        else:
+            callbacks.append(self._resume)
 
     def _finish(self, value: Any) -> None:
         self._alive = False

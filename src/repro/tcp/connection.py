@@ -145,8 +145,9 @@ class TcpConnection:
 
         # --- RTT / timers ---
         self.rtt = RttEstimator(min_rto=self.config.min_rto)
-        self._rto_gen = 0
         self._rto_armed = False
+        self._rto_scheduled = False
+        self._rto_deadline = 0.0
         self._persist_gen = 0
         self._syn_retries_left = self.config.syn_retries
 
@@ -853,19 +854,32 @@ class TcpConnection:
                 self.on_established_cb(self)
 
     # timers ----------------------------------------------------------------
+    # The RTO is re-armed on every ACK and every transmission.  Scheduling a
+    # fresh timeout each time would flood the event heap with stale no-ops
+    # (tens of thousands per simulated second on a busy flow), so the timer
+    # is lazy: arming just moves ``_rto_deadline``, and at most one check
+    # event is pending, which re-schedules itself for the remaining time
+    # when it finds the deadline has moved.  Expiry times are identical.
     def _arm_rto(self, restart: bool = False) -> None:
         if self._rto_armed and not restart:
             return
-        self._rto_gen += 1
         self._rto_armed = True
-        self.sim.schedule_call(self.rtt.rto, self._rto_fire, self._rto_gen)
+        self._rto_deadline = self.sim.now + self.rtt.rto
+        if not self._rto_scheduled:
+            self._rto_scheduled = True
+            self.sim.schedule_call(self.rtt.rto, self._rto_check)
 
     def _cancel_rto(self) -> None:
-        self._rto_gen += 1
         self._rto_armed = False
 
-    def _rto_fire(self, gen: int) -> None:
-        if gen != self._rto_gen:
+    def _rto_check(self) -> None:
+        self._rto_scheduled = False
+        if not self._rto_armed:
+            return
+        remaining = self._rto_deadline - self.sim.now
+        if remaining > 1e-12:
+            self._rto_scheduled = True
+            self.sim.schedule_call(remaining, self._rto_check)
             return
         self._rto_armed = False
         if self.state is TcpState.SYN_SENT:

@@ -14,12 +14,13 @@ from typing import Optional, Tuple
 __all__ = ["TcpSegment"]
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpSegment:
     """One TCP segment (possibly a TSO super-segment).
 
     ``seq`` numbers the first payload byte; SYN and FIN each consume one
-    sequence number, as in the real protocol.
+    sequence number, as in the real protocol.  Slotted — segments are the
+    most-allocated object in a bulk-transfer run.
     """
 
     src_port: int

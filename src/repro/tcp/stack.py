@@ -213,7 +213,7 @@ class TcpStack:
         if core is None:
             self._to_wire(packet, seg, span)
             return
-        core.execute(cost).add_callback(lambda _ev: self._to_wire(packet, seg, span))
+        core.execute_call(cost, self._to_wire, packet, seg, span)
 
     def _to_wire(self, packet: Packet, seg: TcpSegment, span=None) -> None:
         if span is not None:
@@ -246,7 +246,7 @@ class TcpStack:
         cost = (
             self.config.per_segment_ns + self.config.per_byte_ns * seg.payload_len
         ) * NANOS
-        core.execute(cost).add_callback(lambda _ev: self._demux(packet, seg))
+        core.execute_call(cost, self._demux, packet, seg)
 
     def _demux(self, packet: Packet, seg: TcpSegment) -> None:
         key = (seg.dst_port, packet.src, seg.src_port)
