@@ -8,6 +8,8 @@ __all__ = [
     "InvalidSocketState",
     "UnsupportedCongestionControl",
     "AddressInUse",
+    "OperationTimedOut",
+    "ConnectionReset",
 ]
 
 
@@ -34,3 +36,20 @@ class UnsupportedCongestionControl(SocketError):
 
 class AddressInUse(SocketError):
     """bind()/listen() collision (EADDRINUSE)."""
+
+
+class OperationTimedOut(SocketError):
+    """A socket op exhausted its timeout + retry budget (ETIMEDOUT).
+
+    Surfaced by GuestLib when the datapath stops answering — a crashed or
+    stalled NSM, a blackholed NIC — instead of hanging the caller forever.
+    """
+
+
+class ConnectionReset(SocketError):
+    """The backend connection is gone (ECONNRESET).
+
+    Raised for in-flight and subsequent ops on a connection whose NSM
+    failed over: the standby NSM serves *new* connections, but TCP state
+    of the old ones died with the old stack.
+    """

@@ -8,6 +8,7 @@
     python -m repro ablation {form,priority,notify,multiplex,
                               containers,qos,fastpass,connscale}
     python -m repro trace figure4 --out trace.json   # cross-layer tracing
+    python -m repro chaos [--smoke --seed 7]         # fault injection
     python -m repro bench datapath [--quick]         # simulator wall-clock perf
     python -m repro all                  # everything (several minutes)
 """
@@ -174,6 +175,28 @@ def run_trace(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def run_chaos(args: argparse.Namespace) -> str:
+    """Figure workloads under a fault plan (see repro.experiments.chaos)."""
+    from .experiments import chaos
+
+    if args.smoke:
+        result = chaos.run_chaos_smoke(seed=args.seed, flows=args.flows)
+        failures = []
+        if result.unrecovered:
+            failures.append(f"{result.unrecovered} unrecovered flow(s)")
+        if not result.failovers:
+            failures.append("NSM crash produced no failover")
+        if failures:
+            print(result.table())
+            raise SystemExit("chaos --smoke FAILED: " + "; ".join(failures))
+        return result.table() + "\nchaos --smoke OK"
+    plan = chaos.default_random_plan(
+        args.seed, duration=args.duration, faults=args.faults
+    )
+    result = chaos.run_chaos(plan, flows=args.flows, duration=args.duration)
+    return plan.describe() + "\n" + result.table()
+
+
 def run_list(args: argparse.Namespace) -> str:
     lines = [
         "available artifacts:",
@@ -185,6 +208,8 @@ def run_list(args: argparse.Namespace) -> str:
         f"({', '.join(sorted(_ABLATIONS))})",
         "  trace      run figure4/figure5 with the repro.obs tracer on;"
         " export a Chrome trace",
+        "  chaos      figure4 workload under a seeded fault plan"
+        " (NSM crash/failover, timeouts)",
         "  bench      simulator wall-clock benchmarks (datapath)",
         "  all        everything above in sequence",
     ]
@@ -252,6 +277,23 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--cadence", type=float, default=None,
                        help="counter snapshot interval in sim seconds")
     trace.set_defaults(runner=run_trace)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the figure4 workload under a fault plan (robustness)",
+    )
+    chaos.add_argument("--smoke", action="store_true",
+                       help="CI mode: scripted NSM crash; nonzero exit if "
+                            "any flow fails to recover")
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="fault-plan seed (deterministic)")
+    chaos.add_argument("--flows", type=int, default=2,
+                       help="concurrent bulk flows")
+    chaos.add_argument("--faults", type=int, default=6,
+                       help="faults drawn into the random plan")
+    chaos.add_argument("--duration", type=float, default=0.35,
+                       help="seconds of simulated time")
+    chaos.set_defaults(runner=run_chaos)
 
     sub.add_parser("all", help="regenerate everything").set_defaults(
         runner=run_all

@@ -15,6 +15,7 @@
   multi-queue ServiceLib fix).
 """
 
+from .chaos import ChaosResult, default_random_plan, run_chaos, run_chaos_smoke
 from .common import (
     ClusterTestbed,
     LanTestbed,
@@ -46,6 +47,10 @@ __all__ = [
     "make_lan_testbed",
     "make_wan_testbed",
     "default_wan_loss",
+    "ChaosResult",
+    "default_random_plan",
+    "run_chaos",
+    "run_chaos_smoke",
     "Figure4Result",
     "run_figure4",
     "run_datapath_bench",

@@ -1,0 +1,22 @@
+"""Fault injection and recovery (robustness subsystem).
+
+The paper sells NetKernel on *deployability*: the provider owns the
+stack, so the provider also owns its failures.  This package makes that
+story testable.  A :class:`FaultPlan` is a deterministic, seeded script
+of faults (NSM crashes, slow-downs, CoreEngine stalls, ring corruption,
+huge-page exhaustion, NIC blackholes, WAN loss bursts); a
+:class:`FaultInjector` arms them against a running testbed; and
+``repro chaos`` (see :mod:`repro.experiments.chaos`) drives figure
+workloads through a plan, measuring goodput per phase and recovery
+latency.
+
+Recovery machinery lives where it belongs — GuestLib op timeouts,
+ServiceLib dedup, CoreEngine heartbeats/failover, Hypervisor standby
+pools — and is armed via :class:`repro.netkernel.CoreEngineConfig`.
+This package only *breaks* things, on schedule.
+"""
+
+from .injector import FaultInjector
+from .plan import Fault, FaultKind, FaultPlan
+
+__all__ = ["Fault", "FaultKind", "FaultPlan", "FaultInjector"]

@@ -1,0 +1,171 @@
+"""The fault injector: arms a :class:`FaultPlan` against live objects.
+
+Targets are registered by name before :meth:`FaultInjector.start`; the
+injector schedules one simulator callback per fault and dispatches on
+:class:`FaultKind`.  Faults with a duration schedule their own recovery
+callback (restore cost factor, free the hoarded chunk, repair the NIC,
+restore the loss model).  NSM crashes deliberately do *not* — detection
+and failover belong to CoreEngine's heartbeat watchdog, which is the
+thing under test.
+
+Every injection and recovery is appended to ``injected`` / ``recovered``
+(time-stamped dicts) and counted through ``repro.obs`` as
+``faults.injected.<kind>`` / ``faults.recovered.<kind>``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..net.link import Link
+from ..net.loss import IIDLoss
+from ..net.nic import NIC
+from ..netkernel.coreengine import CoreEngine
+from ..netkernel.hugepages import HugeChunk, HugePageRegion
+from ..netkernel.nsm import NSM
+from ..netkernel.queues import NqeRing
+from ..obs import runtime as obs_runtime
+from ..sim import Simulator
+from .plan import Fault, FaultKind, FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules a plan's faults and performs their mechanical injection."""
+
+    def __init__(self, sim: Simulator, plan: FaultPlan) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.tracer = obs_runtime.get_tracer()
+        self._nsms: Dict[str, NSM] = {}
+        self._coreengines: Dict[str, CoreEngine] = {}
+        self._rings: Dict[str, NqeRing] = {}
+        self._regions: Dict[str, HugePageRegion] = {}
+        self._nics: Dict[str, NIC] = {}
+        self._links: Dict[str, Link] = {}
+        self._hoarded: Dict[str, HugeChunk] = {}
+        self._started = False
+        #: Time-stamped records of what actually fired / was restored.
+        self.injected: List[dict] = []
+        self.recovered: List[dict] = []
+
+    # -- target registry ----------------------------------------------------
+    def register_nsm(self, name: str, nsm: NSM) -> None:
+        self._nsms[name] = nsm
+
+    def register_coreengine(self, name: str, ce: CoreEngine) -> None:
+        self._coreengines[name] = ce
+
+    def register_ring(self, name: str, ring: NqeRing) -> None:
+        self._rings[name] = ring
+
+    def register_region(self, name: str, region: HugePageRegion) -> None:
+        self._regions[name] = region
+
+    def register_nic(self, name: str, nic: NIC) -> None:
+        self._nics[name] = nic
+
+    def register_link(self, name: str, link: Link) -> None:
+        self._links[name] = link
+
+    # -- arming ---------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule every fault in the plan (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        for fault in self.plan:
+            self._lookup(fault)  # fail fast on unknown targets
+            self.sim.schedule_call(fault.at, self._fire, fault)
+
+    def _lookup(self, fault: Fault):
+        registry = {
+            FaultKind.NSM_CRASH: self._nsms,
+            FaultKind.NSM_SLOWDOWN: self._nsms,
+            FaultKind.CE_STALL: self._coreengines,
+            FaultKind.RING_DROP: self._rings,
+            FaultKind.RING_DUP: self._rings,
+            FaultKind.HUGEPAGE_EXHAUST: self._regions,
+            FaultKind.NIC_BLACKHOLE: self._nics,
+            FaultKind.LINK_LOSS: self._links,
+        }[fault.kind]
+        try:
+            return registry[fault.target]
+        except KeyError:
+            raise KeyError(
+                f"fault target {fault.target!r} not registered for {fault.kind.value}"
+            ) from None
+
+    # -- dispatch ----------------------------------------------------------
+    def _fire(self, fault: Fault) -> None:
+        target = self._lookup(fault)
+        self._record(self.injected, fault)
+        if self.tracer.enabled:
+            self.tracer.count(f"faults.injected.{fault.kind.value}")
+        if fault.kind is FaultKind.NSM_CRASH:
+            target.crash()
+        elif fault.kind is FaultKind.NSM_SLOWDOWN:
+            target.servicelib.set_degraded(fault.factor)
+            self.sim.schedule_call(fault.duration, self._restore_slowdown, fault)
+        elif fault.kind is FaultKind.CE_STALL:
+            # Occupy the hypervisor core: switching work queues behind it.
+            target.core.execute(fault.duration)
+            self._recovered_at(fault, self.sim.now + fault.duration)
+        elif fault.kind is FaultKind.RING_DROP:
+            target.corrupt_drop(fault.count)
+            self._recovered_at(fault, self.sim.now)
+        elif fault.kind is FaultKind.RING_DUP:
+            target.corrupt_duplicate(fault.count)
+            self._recovered_at(fault, self.sim.now)
+        elif fault.kind is FaultKind.HUGEPAGE_EXHAUST:
+            chunk = target.try_alloc(target.free_bytes) if target.free_bytes else None
+            if chunk is not None:
+                self._hoarded[fault.target] = chunk
+            self.sim.schedule_call(fault.duration, self._restore_region, fault)
+        elif fault.kind is FaultKind.NIC_BLACKHOLE:
+            target.fail()
+            self.sim.schedule_call(fault.duration, self._restore_nic, fault)
+        elif fault.kind is FaultKind.LINK_LOSS:
+            original = target.loss
+            seed = (self.plan.seed or 0) ^ hash(fault.target) & 0xFFFF
+            target.loss = IIDLoss(fault.loss_p, seed=seed)
+            self.sim.schedule_call(fault.duration, self._restore_link, fault, original)
+
+    # -- recovery callbacks ----------------------------------------------------
+    def _restore_slowdown(self, fault: Fault) -> None:
+        self._lookup(fault).servicelib.set_degraded(1.0)
+        self._recovered_at(fault, self.sim.now)
+
+    def _restore_region(self, fault: Fault) -> None:
+        chunk = self._hoarded.pop(fault.target, None)
+        if chunk is not None and not chunk.freed:
+            chunk.free()
+        self._recovered_at(fault, self.sim.now)
+
+    def _restore_nic(self, fault: Fault) -> None:
+        self._lookup(fault).repair()
+        self._recovered_at(fault, self.sim.now)
+
+    def _restore_link(self, fault: Fault, original) -> None:
+        self._lookup(fault).loss = original
+        self._recovered_at(fault, self.sim.now)
+
+    # -- bookkeeping ---------------------------------------------------------
+    def _record(self, log: List[dict], fault: Fault) -> None:
+        log.append(
+            {"at": self.sim.now, "kind": fault.kind.value, "target": fault.target}
+        )
+
+    def _recovered_at(self, fault: Fault, when: float) -> None:
+        self.recovered.append(
+            {"at": when, "kind": fault.kind.value, "target": fault.target}
+        )
+        if self.tracer.enabled:
+            self.tracer.count(f"faults.recovered.{fault.kind.value}")
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector faults={len(self.plan)} injected={len(self.injected)} "
+            f"recovered={len(self.recovered)}>"
+        )

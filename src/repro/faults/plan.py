@@ -1,0 +1,240 @@
+"""Fault plans: what breaks, when, for how long.
+
+A plan is a *schedule*, fixed before the simulation starts.  Random
+plans draw every fault time and parameter from a seeded
+``random.Random`` at build time, so the same seed always produces the
+same plan and the simulation itself stays deterministic — the injector
+never consults a RNG at run time.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+__all__ = ["FaultKind", "Fault", "FaultPlan"]
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the injector knows how to trigger."""
+
+    #: Kill an NSM wholesale: NIC blackholes, ServiceLib stops.  Recovery
+    #: is CoreEngine failover to a standby (if armed).
+    NSM_CRASH = "nsm-crash"
+    #: Degrade ServiceLib per-op cost by ``factor`` for ``duration``.
+    NSM_SLOWDOWN = "nsm-slowdown"
+    #: Occupy the CoreEngine core for ``duration`` (e.g. a hypervisor
+    #: management burst): nqe switching stalls behind it.
+    CE_STALL = "ce-stall"
+    #: Drop ``count`` queued nqes from a ring (shared-memory corruption).
+    RING_DROP = "ring-drop"
+    #: Duplicate ``count`` queued nqes in a ring.
+    RING_DUP = "ring-dup"
+    #: Allocate the huge-page region's entire free space for ``duration``
+    #: (a leaking co-tenant): senders block on alloc until released.
+    HUGEPAGE_EXHAUST = "hugepage-exhaust"
+    #: Silently blackhole a NIC for ``duration`` then repair it.
+    NIC_BLACKHOLE = "nic-blackhole"
+    #: Replace a link's loss model with iid loss at ``loss_p`` for
+    #: ``duration`` (WAN loss burst), then restore the original.
+    LINK_LOSS = "link-loss"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault.
+
+    ``target`` names a registered object (NSM, ring, region, NIC, link,
+    CoreEngine — see :class:`FaultInjector`'s ``register_*`` methods).
+    Which optional fields matter depends on ``kind``.
+    """
+
+    at: float
+    kind: FaultKind
+    target: str
+    duration: float = 0.0
+    factor: float = 1.0  # NSM_SLOWDOWN cost multiplier
+    count: int = 1  # RING_DROP / RING_DUP nqes
+    loss_p: float = 0.0  # LINK_LOSS drop probability
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("fault time must be >= 0")
+        if self.kind in _DURATION_KINDS and self.duration <= 0:
+            raise ValueError(f"{self.kind.value} needs a positive duration")
+        if self.kind is FaultKind.NSM_SLOWDOWN and self.factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        if self.kind in (FaultKind.RING_DROP, FaultKind.RING_DUP) and self.count < 1:
+            raise ValueError("ring corruption count must be >= 1")
+        if self.kind is FaultKind.LINK_LOSS and not 0.0 < self.loss_p <= 1.0:
+            raise ValueError("loss_p must be in (0, 1]")
+
+
+_DURATION_KINDS = frozenset(
+    {
+        FaultKind.NSM_SLOWDOWN,
+        FaultKind.CE_STALL,
+        FaultKind.HUGEPAGE_EXHAUST,
+        FaultKind.NIC_BLACKHOLE,
+        FaultKind.LINK_LOSS,
+    }
+)
+
+#: Kinds eligible for random plans, with per-kind parameter ranges.  NSM
+#: crashes are listed once so a random plan usually exercises failover
+#: without killing every NSM in the first second.
+_RANDOM_KINDS: Sequence[FaultKind] = (
+    FaultKind.NSM_SLOWDOWN,
+    FaultKind.CE_STALL,
+    FaultKind.RING_DROP,
+    FaultKind.RING_DUP,
+    FaultKind.HUGEPAGE_EXHAUST,
+    FaultKind.NIC_BLACKHOLE,
+    FaultKind.NSM_CRASH,
+)
+
+
+@dataclass
+class FaultPlan:
+    """An immutable-once-built schedule of :class:`Fault` entries."""
+
+    faults: List[Fault] = field(default_factory=list)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.faults = sorted(self.faults, key=lambda f: f.at)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    @classmethod
+    def empty(cls) -> "FaultPlan":
+        """No faults: a chaos run with this plan must match the baseline."""
+        return cls(faults=[])
+
+    @classmethod
+    def scripted(cls, faults: Sequence[Fault]) -> "FaultPlan":
+        return cls(faults=list(faults))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        duration: float,
+        nsm_targets: Sequence[str],
+        ring_targets: Sequence[str] = (),
+        region_targets: Sequence[str] = (),
+        nic_targets: Sequence[str] = (),
+        ce_targets: Sequence[str] = (),
+        faults: int = 6,
+        start: float = 0.0,
+        crashes: int = 1,
+    ) -> "FaultPlan":
+        """Draw a deterministic plan from ``seed``.
+
+        ``crashes`` caps how many NSM_CRASH faults the plan may contain
+        (each kills one distinct target, so a single-standby failover
+        setup is not asked to recover twice).  All draws happen here, at
+        build time; the returned plan is a plain fixed schedule.
+        """
+        if faults < 0:
+            raise ValueError("faults must be >= 0")
+        if duration <= start:
+            raise ValueError("duration must exceed start")
+        rng = random.Random(seed)
+        kinds = [
+            k
+            for k in _RANDOM_KINDS
+            if (k in (FaultKind.RING_DROP, FaultKind.RING_DUP) and ring_targets)
+            or (k is FaultKind.HUGEPAGE_EXHAUST and region_targets)
+            or (k is FaultKind.NIC_BLACKHOLE and nic_targets)
+            or (k is FaultKind.CE_STALL and ce_targets)
+            or (k in (FaultKind.NSM_CRASH, FaultKind.NSM_SLOWDOWN) and nsm_targets)
+        ]
+        if not kinds:
+            return cls(faults=[], seed=seed)
+        picked: List[Fault] = []
+        crashed: List[str] = []
+        for _ in range(faults):
+            kind = rng.choice(kinds)
+            at = rng.uniform(start, duration)
+            hold = rng.uniform(0.05, 0.25) * (duration - start)
+            if kind is FaultKind.NSM_CRASH:
+                remaining = [t for t in nsm_targets if t not in crashed]
+                if len(crashed) >= crashes or not remaining:
+                    kind = FaultKind.NSM_SLOWDOWN
+                else:
+                    target = rng.choice(remaining)
+                    crashed.append(target)
+                    picked.append(Fault(at=at, kind=kind, target=target))
+                    continue
+            if kind is FaultKind.NSM_SLOWDOWN:
+                picked.append(
+                    Fault(
+                        at=at,
+                        kind=kind,
+                        target=rng.choice(list(nsm_targets)),
+                        duration=hold,
+                        factor=rng.uniform(1.5, 4.0),
+                    )
+                )
+            elif kind is FaultKind.CE_STALL:
+                picked.append(
+                    Fault(
+                        at=at,
+                        kind=kind,
+                        target=rng.choice(list(ce_targets)),
+                        duration=rng.uniform(0.001, 0.01),
+                    )
+                )
+            elif kind in (FaultKind.RING_DROP, FaultKind.RING_DUP):
+                picked.append(
+                    Fault(
+                        at=at,
+                        kind=kind,
+                        target=rng.choice(list(ring_targets)),
+                        count=rng.randint(1, 4),
+                    )
+                )
+            elif kind is FaultKind.HUGEPAGE_EXHAUST:
+                picked.append(
+                    Fault(
+                        at=at,
+                        kind=kind,
+                        target=rng.choice(list(region_targets)),
+                        duration=hold,
+                    )
+                )
+            elif kind is FaultKind.NIC_BLACKHOLE:
+                picked.append(
+                    Fault(
+                        at=at,
+                        kind=kind,
+                        target=rng.choice(list(nic_targets)),
+                        duration=min(hold, 0.2 * (duration - start)),
+                    )
+                )
+        return cls(faults=picked, seed=seed)
+
+    def describe(self) -> str:
+        lines = [f"fault plan: {len(self.faults)} fault(s), seed={self.seed}"]
+        for f in self.faults:
+            extra = []
+            if f.duration:
+                extra.append(f"for {f.duration:.4f}s")
+            if f.kind is FaultKind.NSM_SLOWDOWN:
+                extra.append(f"x{f.factor:.2f}")
+            if f.kind in (FaultKind.RING_DROP, FaultKind.RING_DUP):
+                extra.append(f"count={f.count}")
+            if f.kind is FaultKind.LINK_LOSS:
+                extra.append(f"p={f.loss_p}")
+            lines.append(
+                f"  t={f.at:.4f}s {f.kind.value} -> {f.target} {' '.join(extra)}".rstrip()
+            )
+        return "\n".join(lines)

@@ -33,6 +33,10 @@ class Signal(enum.Enum):
     INGRESS_BPS = "ingress-bps"
     ACTIVE_CONNECTIONS = "connections"
     RETRANSMIT_RATE = "retransmits-per-s"
+    #: Packets/s the NSM's NIC dropped because it is failed (blackholed):
+    #: the provider-side signal that an NSM needs replacing — faults are
+    #: injected by :mod:`repro.faults`, detected here.
+    NIC_DROPS = "nic-drops-per-s"
 
 
 @dataclass
@@ -71,6 +75,7 @@ class Trigger:
                     for conn in self.nsm.stack._connections.values()
                 )
             ),
+            Signal.NIC_DROPS: float(self.nsm.nic.dropped_failed),
         }
         current = counters[self.signal]
         previous = self._last_counters.get(self.signal.value, current)

@@ -22,7 +22,7 @@ from .nsm import NSM, NsmForm, NsmSpec
 from .provision import Hypervisor
 from .qos import DrrScheduler, QosPolicy, TokenBucket
 from .rdma_nsm import DOORBELL_NS, RdmaNsm, TenantRdma
-from .queues import NotifyMode, NqeRing, PriorityNqeRing
+from .queues import NotifyMode, NqeRing, PriorityNqeRing, QueueTimeout
 from .servicelib import SERVICELIB_OP_NS, ServiceLib
 
 __all__ = [
@@ -36,6 +36,7 @@ __all__ = [
     "NqeRing",
     "PriorityNqeRing",
     "NotifyMode",
+    "QueueTimeout",
     "HugeChunk",
     "HugePageRegion",
     "CHUNK_SIZE",

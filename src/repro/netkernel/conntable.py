@@ -65,6 +65,19 @@ class ConnectionTable:
         if vm_key is not None:
             self._vm_to_nsm.pop(vm_key, None)
 
+    def evict_nsm(self, nsm_id: int) -> list[Tuple[VmKey, NsmKey]]:
+        """Drop every mapping served by ``nsm_id`` (NSM failover).
+
+        Returns the removed ``((vm_id, fd), (nsm_id, cid))`` pairs so
+        CoreEngine can notify each affected guest socket.
+        """
+        pairs = []
+        for nsm_key in self.connections_of_nsm(nsm_id):
+            vm_key = self._nsm_to_vm.pop(nsm_key)
+            self._vm_to_nsm.pop(vm_key, None)
+            pairs.append((vm_key, nsm_key))
+        return pairs
+
     def connections_of_vm(self, vm_id: int) -> list[VmKey]:
         return [key for key in self._vm_to_nsm if key[0] == vm_id]
 

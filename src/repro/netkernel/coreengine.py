@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..api.errors import ConnectionReset
 from ..host.cpu import Core
 from ..obs import runtime as obs_runtime
 from ..sim import NANOS, Simulator
@@ -69,6 +70,23 @@ class CoreEngineConfig:
     #: the NSM form's cpu multiplier applies on top, as it does unbatched).
     servicelib_per_batch_ns: float = SL_PER_BATCH_NS
     servicelib_per_nqe_ns: float = SL_PER_NQE_NS
+    #: Fault tolerance: GuestLib op timeout in simulated seconds (``None``
+    #: keeps the machinery entirely off — no timers, bit-identical).  Each
+    #: retry multiplies the deadline by ``op_backoff``; after
+    #: ``op_retries`` retries the op fails with ETIMEDOUT.
+    op_timeout: Optional[float] = None
+    op_retries: int = 2
+    op_backoff: float = 2.0
+    #: NSM liveness: CoreEngine pushes a HEARTBEAT nqe every interval and
+    #: declares the NSM dead after ``heartbeat_miss`` silent intervals.
+    #: ``None`` disables the watchdog (default; heartbeats charge NSM CPU,
+    #: so enabling them perturbs simulated results).
+    heartbeat_interval: Optional[float] = None
+    heartbeat_miss: int = 3
+
+    @property
+    def fault_tolerant(self) -> bool:
+        return self.op_timeout is not None
 
     @property
     def batching(self) -> bool:
@@ -90,7 +108,11 @@ class CoreEngineConfig:
 
 @dataclass
 class VmAttachment:
-    """Everything CoreEngine wires up for one tenant VM."""
+    """Everything CoreEngine wires up for one tenant VM.
+
+    ``nsm``/``nsm_queues`` are re-pointed by failover: the job mover reads
+    them per nqe, so ops issued after a failover flow to the standby NSM.
+    """
 
     vm_id: int
     nsm: NSM
@@ -99,6 +121,7 @@ class VmAttachment:
     job_queue: NqeRing
     completion_queue: NqeRing
     receive_queue: NqeRing
+    nsm_queues: "_NsmQueues" = None
 
 
 @dataclass
@@ -128,6 +151,15 @@ class CoreEngine:
         self._nsms: Dict[int, _NsmQueues] = {}
         self._next_vm_id = 1
         self.nqes_copied = 0
+        # --- fault tolerance ---------------------------------------------
+        #: Called with the dead NSM when the watchdog fires; returns a
+        #: standby NSM (or None).  Installed by Hypervisor.enable_failover.
+        self.standby_provider = None
+        #: Failover log: one dict per declared-dead NSM (see _on_nsm_dead).
+        self.failovers: list = []
+        self._nsm_objects: Dict[int, NSM] = {}
+        self._failed_nsms: set = set()
+        self._last_heartbeat: Dict[int, float] = {}
         self.tracer = obs_runtime.get_tracer()
         self._traced = self.tracer.enabled
         if self.config.notify_mode is NotifyMode.POLLING:
@@ -155,9 +187,17 @@ class CoreEngine:
             allocate_cid=lambda: self.table.allocate_cid(nsm.nsm_id),
             notify_mode=self.config.notify_mode,
             batch=self.config.servicelib_batch(),
+            dedup=self.config.fault_tolerant,
         )
         queues = _NsmQueues(job, completion, receive, servicelib)
         self._nsms[nsm.nsm_id] = queues
+        self._nsm_objects[nsm.nsm_id] = nsm
+        if self.config.heartbeat_interval is not None:
+            self._last_heartbeat[nsm.nsm_id] = self.sim.now
+            self.sim.process(
+                self._heartbeat_loop(nsm, queues),
+                name=f"{self.name}.hb.{nsm.name}",
+            )
 
         def switch_completion(nqe):
             return self._switch_completion_nqe(nsm, nqe)
@@ -195,6 +235,9 @@ class CoreEngine:
             notify_mode=self.config.notify_mode,
             inline_rx_copy=self.config.inline_rx_copy,
             batch=self.config.guestlib_batch(),
+            op_timeout=self.config.op_timeout,
+            op_retries=self.config.op_retries,
+            op_backoff=self.config.op_backoff,
         )
         attachment = VmAttachment(
             vm_id=vm_id,
@@ -204,13 +247,13 @@ class CoreEngine:
             job_queue=job,
             completion_queue=completion,
             receive_queue=receive,
+            nsm_queues=self._nsms[nsm.nsm_id],
         )
         self._vms[vm_id] = attachment
         nsm.tenant_vm_ids.append(vm_id)
-        nsm_queues = self._nsms[nsm.nsm_id]
 
         def switch_job(nqe):
-            return self._switch_job_nqe(attachment, nsm, nsm_queues, nqe)
+            return self._switch_job_nqe(attachment, nqe)
 
         self._start_mover(job, "job", switch_job, f"{self.name}.job.vm{vm_id}")
         return attachment
@@ -248,13 +291,12 @@ class CoreEngine:
     # when a destination ring is full and the mover has to block for
     # backpressure.  Delivery order is identical either way: a full ring
     # queues offered nqes behind its backpressure list in FIFO order.
-    def _switch_job_nqe(
-        self,
-        attachment: VmAttachment,
-        nsm: NSM,
-        nsm_queues: _NsmQueues,
-        nqe: Nqe,
-    ):
+    def _switch_job_nqe(self, attachment: VmAttachment, nqe: Nqe):
+        # Read the NSM binding per nqe (not captured at attach time): a
+        # failover re-points ``attachment.nsm``/``nsm_queues`` and every
+        # subsequent op must flow to the standby.
+        nsm = attachment.nsm
+        nsm_queues = attachment.nsm_queues
         vm_id = attachment.vm_id
         if nqe.op is NqeOp.SOCKET:
             # Assign the fd immediately (§3.2) ...
@@ -282,10 +324,15 @@ class CoreEngine:
             return None
         mapping = self.table.to_nsm(vm_id, nqe.fd)
         if mapping is None:
+            # Unknown or evicted fd — after a failover this is an op raced
+            # against the reset; surface a typed error, never a hang.
+            chunk = nqe.data_desc
+            if chunk is not None and not chunk.freed:
+                chunk.free()
             ring = attachment.completion_queue
             nqe = nqe.completion(
                 NqeStatus.ERROR,
-                result=RuntimeError(f"no mapping for fd {nqe.fd}"),
+                result=ConnectionReset(f"no mapping for fd {nqe.fd}"),
             )
         else:
             nqe.nsm_id, nqe.cid = mapping
@@ -301,6 +348,11 @@ class CoreEngine:
         yield jq.push(backend)
 
     def _switch_completion_nqe(self, nsm: NSM, nqe: Nqe):
+        if nqe.args is NqeOp.HEARTBEAT:
+            # Liveness answer from ServiceLib; consumed here, never
+            # forwarded (heartbeats carry no VM mapping).
+            self._last_heartbeat[nsm.nsm_id] = self.sim.now
+            return None
         vm_key = self.table.to_vm(nsm.nsm_id, nqe.cid)
         if vm_key is None:
             if nqe.data_desc is not None:  # teardown race: release huge pages
@@ -340,6 +392,8 @@ class CoreEngine:
         if nqe.op is NqeOp.ACCEPT_EVENT:
             # Generate a guest fd for the new flow (§3.2).
             child_cid = nqe.result
+            if self.table.to_vm(nsm.nsm_id, child_cid) is not None:
+                return None  # duplicated nqe (ring corruption): drop
             child_fd = self.table.allocate_fd(vm_id)
             self.table.insert(vm_id, child_fd, nsm.nsm_id, child_cid)
             nqe.result = child_fd
@@ -489,6 +543,101 @@ class CoreEngine:
     def _switch_traced_slow(self, blocked, started, span):
         yield from blocked
         self._end_switch(started, span)
+
+    # --------------------------------------------------- heartbeats / failover --
+    def _heartbeat_loop(self, nsm: NSM, queues: _NsmQueues):
+        """Probe one NSM's liveness; declare it dead after missed answers.
+
+        The HEARTBEAT nqe takes the normal job-ring path and is answered
+        by ServiceLib on the NSM core — so a crashed, wedged or fully
+        stalled NSM misses beats, while a merely busy one answers late but
+        within the miss budget.
+        """
+        interval = self.config.heartbeat_interval
+        budget = interval * self.config.heartbeat_miss
+        nsm_id = nsm.nsm_id
+        while True:
+            yield self.sim.timeout(interval)
+            if nsm_id in self._failed_nsms or nsm_id not in self._nsms:
+                return
+            queues.job.offer(Nqe(op=NqeOp.HEARTBEAT, nsm_id=nsm_id))
+            if self.sim.now - self._last_heartbeat[nsm_id] > budget:
+                self._on_nsm_dead(nsm)
+                return
+
+    def declare_nsm_dead(self, nsm: NSM) -> None:
+        """Out-of-band failure declaration (monitoring triggers, tests)."""
+        self._on_nsm_dead(nsm)
+
+    def _on_nsm_dead(self, nsm: NSM) -> None:
+        """Dead-NSM recovery: reset its connections, adopt a standby.
+
+        Graceful degradation, in order: (1) the dead side stops for good
+        and its rings are drained (freeing huge-page chunks so blocked
+        senders unblock); (2) every ``<VM fd> <-> <NSM cID>`` mapping it
+        served is evicted and the guest told via a RESET nqe (in-flight
+        ops fail ECONNRESET, not hang); (3) if a standby provider is
+        installed, the standby takes over the dead NSM's IP and tenants,
+        so *new* connections succeed transparently.
+        """
+        nsm_id = nsm.nsm_id
+        if nsm_id in self._failed_nsms:
+            return
+        self._failed_nsms.add(nsm_id)
+        detected = self.sim.now
+        tracer = self.tracer
+        if self._traced:
+            tracer.count("coreengine.nsm_failures")
+        queues = self._nsms.get(nsm_id)
+        if queues is not None:
+            queues.servicelib.crash()
+            queues.job.drain()
+            queues.completion.drain()
+            queues.receive.drain()
+        # Reset every connection the dead NSM served.
+        evicted = self.table.evict_nsm(nsm_id)
+        for (vm_id, fd), _nsm_key in evicted:
+            attachment = self._vms.get(vm_id)
+            if attachment is None:
+                continue
+            attachment.receive_queue.offer(
+                Nqe(op=NqeOp.RESET, vm_id=vm_id, fd=fd)
+            )
+        # Adopt a standby, if the control plane provides one.
+        standby = None
+        provider = self.standby_provider
+        if provider is not None:
+            standby = provider(nsm)
+        if standby is not None:
+            self.attach_nsm(standby)
+            standby.take_over_ip(nsm)
+            standby_queues = self._nsms[standby.nsm_id]
+            for vm_id in list(nsm.tenant_vm_ids):
+                attachment = self._vms.get(vm_id)
+                if attachment is None:
+                    continue
+                attachment.nsm = standby
+                attachment.nsm_queues = standby_queues
+                attachment.guestlib.ip = standby.ip
+                standby.tenant_vm_ids.append(vm_id)
+            nsm.tenant_vm_ids.clear()
+        record = {
+            "detected_at": detected,
+            "completed_at": self.sim.now,
+            "nsm": nsm.name,
+            "standby": standby.name if standby is not None else None,
+            "connections_reset": len(evicted),
+        }
+        self.failovers.append(record)
+        if self._traced:
+            tracer.count("coreengine.failovers")
+            tracer.count("coreengine.connections_reset", len(evicted))
+            tracer.record_span(
+                "coreengine.failover",
+                "coreengine",
+                start=detected,
+                finish=self.sim.now,
+            )
 
     # -------------------------------------------------------------- inspection --
     def attachment_of(self, vm_id: int) -> VmAttachment:

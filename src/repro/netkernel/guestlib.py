@@ -14,9 +14,16 @@ the paper's central compatibility claim.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace
 from typing import Deque, Dict, List, Optional, Tuple
 
-from ..api.errors import BadFileDescriptor, InvalidSocketState, SocketError
+from ..api.errors import (
+    BadFileDescriptor,
+    ConnectionReset,
+    InvalidSocketState,
+    OperationTimedOut,
+    SocketError,
+)
 from ..api.socket_api import SocketApi
 from ..host.cpu import Core
 from ..net import Endpoint
@@ -50,6 +57,7 @@ class _GuestSocket:
         "accept_ready",
         "acceptors",
         "closed",
+        "reset",
     )
 
     def __init__(self, fd: int, connected: bool = False) -> None:
@@ -64,9 +72,13 @@ class _GuestSocket:
         self.accept_ready: Deque[int] = deque()
         self.acceptors: Deque[Event] = deque()
         self.closed = False
+        #: The backend connection died (NSM failover); ops raise ECONNRESET.
+        self.reset = False
 
     @property
     def readable(self) -> bool:
+        if self.reset:
+            return True  # polling a reset socket yields the error promptly
         if self.listening:
             return bool(self.accept_ready)
         return self.rx_available > 0 or self.eof
@@ -88,6 +100,9 @@ class GuestLib(SocketApi):
         notify_mode: NotifyMode = NotifyMode.POLLING,
         inline_rx_copy: bool = False,
         batch: Optional[BatchPolicy] = None,
+        op_timeout: Optional[float] = None,
+        op_retries: int = 2,
+        op_backoff: float = 2.0,
     ) -> None:
         self.sim = sim
         self.vm_id = vm_id
@@ -109,6 +124,17 @@ class GuestLib(SocketApi):
         self.batch = batch if batch is not None else BatchPolicy()
         self._sockets: Dict[int, _GuestSocket] = {}
         self._pending: Dict[int, Event] = {}  # token -> API event
+        # --- fault tolerance: op timeouts with bounded retry + backoff ---
+        #: ``None`` disables the machinery entirely (bit-identical default:
+        #: no timers are armed, no bookkeeping beyond ``_pending``).
+        self._op_timeout = op_timeout
+        self._op_retries = op_retries
+        self._op_backoff = op_backoff
+        self._ft = op_timeout is not None
+        self._pending_nqes: Dict[int, Nqe] = {}  # token -> request (ft only)
+        self.op_timeouts = 0
+        self.op_retries_sent = 0
+        self.resets_seen = 0
         self.calls_issued = 0
         self.tracer = obs_runtime.get_tracer()
         self._traced = self.tracer.enabled
@@ -151,8 +177,51 @@ class GuestLib(SocketApi):
             tracer.count("guestlib.ops")
         result = Event(self.sim)
         self._pending[nqe.token] = result
+        if self._ft:
+            self._pending_nqes[nqe.token] = nqe
+            self.sim.schedule_call(self._op_timeout, self._op_deadline, nqe, 0)
         self.core.execute_call(GUESTLIB_OP_NS * NANOS, self.job_queue.offer, nqe)
         return result
+
+    def _op_deadline(self, nqe: Nqe, attempt: int) -> None:
+        """An armed op timer fired: retry with backoff, or fail ETIMEDOUT.
+
+        Timers charge no simulated CPU; with no faults every op completes
+        first and this is a no-op, so results stay bit-identical.  Retries
+        reuse the token — the FIFO rings deliver the original first, and
+        ServiceLib's token dedup drops the duplicate execution.
+        """
+        token = nqe.token
+        event = self._pending.get(token)
+        if event is None:
+            return  # completed (or reset) in time
+        if attempt >= self._op_retries:
+            self._pending.pop(token, None)
+            self._pending_nqes.pop(token, None)
+            chunk = nqe.data_desc
+            if chunk is not None and not chunk.freed:
+                chunk.free()  # SEND payload nobody will deliver
+            self.op_timeouts += 1
+            if self._traced:
+                self.tracer.count("guestlib.op_timeouts")
+            event.fail(
+                OperationTimedOut(
+                    f"{nqe.op.value} on fd {nqe.fd} timed out "
+                    f"after {attempt + 1} attempt(s)"
+                )
+            )
+            return
+        retry = replace(nqe, attempt=attempt + 1)
+        self.op_retries_sent += 1
+        if self._traced:
+            self.tracer.count("guestlib.op_retries")
+        self.core.execute_call(GUESTLIB_OP_NS * NANOS, self.job_queue.offer, retry)
+        self.sim.schedule_call(
+            self._op_timeout * (self._op_backoff ** (attempt + 1)),
+            self._op_deadline,
+            nqe,
+            attempt + 1,
+        )
 
     # ---------------------------------------------------------------- SocketApi --
     def socket(self) -> Event:
@@ -161,6 +230,9 @@ class GuestLib(SocketApi):
         api_event = Event(self.sim)
 
         def finish(ev: Event) -> None:
+            if not ev.ok:
+                api_event.fail(ev.value)
+                return
             fd = ev.value
             self._sockets[fd] = _GuestSocket(fd)
             api_event.succeed(fd)
@@ -177,12 +249,17 @@ class GuestLib(SocketApi):
         result = self._issue(
             Nqe(op=NqeOp.LISTEN, vm_id=self.vm_id, fd=fd, args=backlog)
         )
-        result.add_callback(lambda _ev: setattr(sock, "listening", True))
+        result.add_callback(
+            lambda ev: setattr(sock, "listening", True) if ev.ok else None
+        )
         return result
 
     def accept(self, fd: int) -> Event:
         sock = self._get(fd)
         event = Event(self.sim)
+        if sock.reset:
+            event.fail(ConnectionReset(f"fd {fd}: backend listener reset"))
+            return event
         if sock.accept_ready:
             event.succeed(sock.accept_ready.popleft())
         else:
@@ -191,12 +268,16 @@ class GuestLib(SocketApi):
 
     def connect(self, fd: int, remote: Endpoint) -> Event:
         sock = self._get(fd)
+        if sock.reset:
+            raise ConnectionReset(f"fd {fd}: backend connection reset")
         if sock.connected:
             raise InvalidSocketState(f"fd {fd} already connected")
         result = self._issue(
             Nqe(op=NqeOp.CONNECT, vm_id=self.vm_id, fd=fd, args=remote)
         )
-        result.add_callback(lambda _ev: setattr(sock, "connected", True))
+        result.add_callback(
+            lambda ev: setattr(sock, "connected", True) if ev.ok else None
+        )
         return result
 
     def send(self, fd: int, nbytes: int) -> Event:
@@ -207,6 +288,8 @@ class GuestLib(SocketApi):
         sock = self._get(fd)
         if sock.closed:
             raise InvalidSocketState(f"fd {fd} is closed")
+        if sock.reset:
+            raise ConnectionReset(f"fd {fd}: backend connection reset")
         api_event = Event(self.sim)
         root = stage = None
         if self._traced:
@@ -255,6 +338,11 @@ class GuestLib(SocketApi):
         if max_bytes <= 0:
             raise ValueError("recv size must be positive")
         event = Event(self.sim)
+        if sock.reset and sock.rx_available == 0:
+            # Buffered data (if any) is still delivered; past it, the dead
+            # backend surfaces as ECONNRESET rather than a silent hang.
+            event.fail(ConnectionReset(f"fd {fd}: backend connection reset"))
+            return event
         sock.readers.append((max_bytes, event))
         self._drain_readers(sock)
         return event
@@ -262,6 +350,13 @@ class GuestLib(SocketApi):
     def close(self, fd: int) -> Event:
         sock = self._get(fd)
         sock.closed = True
+        if sock.reset:
+            # The backend mapping died with the old NSM; nothing to tell
+            # the provider — release the local fd immediately.
+            self._sockets.pop(fd, None)
+            event = Event(self.sim)
+            event.succeed()
+            return event
         result = self._issue(Nqe(op=NqeOp.CLOSE, vm_id=self.vm_id, fd=fd))
         result.add_callback(lambda _ev: self._sockets.pop(fd, None))
         return result
@@ -357,7 +452,9 @@ class GuestLib(SocketApi):
             nqe.span.cpu(GUESTLIB_OP_NS).end()
         event = self._pending.pop(nqe.token, None)
         if event is None:
-            return  # completion for a forgotten call
+            return  # completion for a forgotten (timed-out/duplicated) call
+        if self._ft:
+            self._pending_nqes.pop(nqe.token, None)
         if nqe.status is NqeStatus.OK:
             event.succeed(nqe.result if nqe.result is not None else nqe.fd)
         else:
@@ -509,6 +606,8 @@ class GuestLib(SocketApi):
         elif nqe.op is NqeOp.EOF:
             sock.eof = True
             yield from self._drain_readers_gen(sock)
+        elif nqe.op is NqeOp.RESET:
+            self._reset_socket(sock)
         elif nqe.op is NqeOp.ACCEPT_EVENT:
             child_fd = nqe.result
             self._sockets[child_fd] = _GuestSocket(child_fd, connected=True)
@@ -542,6 +641,8 @@ class GuestLib(SocketApi):
             sock.eof = True
             if sock.readers:
                 self._drain_readers_fast(sock)
+        elif op is NqeOp.RESET:
+            self._reset_socket(sock)
         elif op is NqeOp.ACCEPT_EVENT:
             child_fd = nqe.result
             self._sockets[child_fd] = _GuestSocket(child_fd, connected=True)
@@ -549,6 +650,48 @@ class GuestLib(SocketApi):
                 sock.acceptors.popleft().succeed(child_fd)
             else:
                 sock.accept_ready.append(child_fd)
+        self._wake_watchers(sock)
+
+    def _reset_socket(self, sock: _GuestSocket) -> None:
+        """The backend connection died with its NSM (failover).
+
+        Waiting readers/acceptors and in-flight ops on the fd fail with
+        ECONNRESET; buffered rx data stays readable; watchers wake (the
+        socket is "readable": polling it yields the error).
+        """
+        if sock.reset:
+            return
+        sock.reset = True
+        sock.eof = True
+        sock.connected = False
+        self.resets_seen += 1
+        if self._traced:
+            self.tracer.count("guestlib.resets")
+        while sock.readers:
+            _max_bytes, event = sock.readers.popleft()
+            event.fail(
+                ConnectionReset(f"fd {sock.fd}: backend connection reset")
+            )
+        while sock.acceptors:
+            sock.acceptors.popleft().fail(
+                ConnectionReset(f"fd {sock.fd}: backend listener reset")
+            )
+        if self._ft:
+            for token, nqe in list(self._pending_nqes.items()):
+                if nqe.fd != sock.fd:
+                    continue
+                event = self._pending.pop(token, None)
+                self._pending_nqes.pop(token, None)
+                chunk = nqe.data_desc
+                if chunk is not None and not chunk.freed:
+                    chunk.free()
+                if event is not None:
+                    event.fail(
+                        ConnectionReset(
+                            f"{nqe.op.value} on fd {sock.fd}: "
+                            "backend connection reset"
+                        )
+                    )
         self._wake_watchers(sock)
 
     def _wake_watchers(self, sock: _GuestSocket) -> None:

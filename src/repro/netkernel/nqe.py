@@ -45,6 +45,13 @@ class NqeOp(enum.Enum):
     DATA = "data"  # nk_new_data_callback
     ACCEPT_EVENT = "accept"  # nk_new_accept_callback
     EOF = "eof"
+    # CoreEngine -> NSM liveness probe; answered with a normal COMPLETION
+    # whose ``args`` is HEARTBEAT (intercepted by CoreEngine, never
+    # forwarded to a VM).
+    HEARTBEAT = "heartbeat"
+    # CoreEngine -> VM (receive queue): the backend connection died with
+    # its NSM; GuestLib surfaces ECONNRESET on the fd.
+    RESET = "reset"
 
 
 class NqeStatus(enum.Enum):
@@ -65,6 +72,8 @@ CONNECTION_EVENT_OPS = frozenset(
         NqeOp.SETSOCKOPT,
         NqeOp.ACCEPT_EVENT,
         NqeOp.COMPLETION,
+        NqeOp.HEARTBEAT,
+        NqeOp.RESET,
     }
 )
 
@@ -99,6 +108,10 @@ class Nqe:
     #: Observability: when the nqe entered its current ring (set by the
     #: ring itself while tracing, consumed at dequeue for wait latency).
     enqueued_at: Optional[float] = None
+    #: Retry generation (fault tolerance): 0 for the original issue; a
+    #: GuestLib retry reuses the token with ``attempt`` bumped so
+    #: ServiceLib's dedup can drop the duplicate execution.
+    attempt: int = 0
 
     @property
     def is_connection_event(self) -> bool:

@@ -153,6 +153,10 @@ class NSM:
         #: Attached by CoreEngine at setup.
         self.servicelib = None
         self.tenant_vm_ids: List[int] = []
+        #: Fault injection: a crashed NSM blackholes its NIC and stops
+        #: serving ops until replaced (there is no in-place restart — the
+        #: paper's recovery story is live replacement by a standby).
+        self.failed = False
 
     @property
     def ip(self) -> str:
@@ -167,6 +171,42 @@ class NSM:
             return 0.0
         busy = sum(core.busy_seconds for core in self.cores)
         return min(1.0, busy / (window * len(self.cores)))
+
+    def crash(self) -> None:
+        """Fault injection: the NSM dies wholesale (idempotent).
+
+        Its NIC blackholes (TCP peers see silence, not FINs), and its
+        ServiceLib stops consuming and producing nqes.  Detection and
+        recovery are CoreEngine's job, via missed heartbeats.
+        """
+        if self.failed:
+            return
+        self.failed = True
+        self.nic.fail()
+        if self.servicelib is not None:
+            self.servicelib.crash()
+
+    def take_over_ip(self, dead: "NSM") -> None:
+        """Failover IP takeover: assume ``dead``'s network identity.
+
+        The VM's address *is* its NSM's address (§2.2), so a transparent
+        replacement must answer on the dead NSM's IP.  Re-keys the host
+        switch table and the stack's cached local address; the standby
+        must be idle (no established connections under its boot-time IP).
+        """
+        if dead.host is not self.host:
+            raise RuntimeError(
+                f"{self.name} cannot take over {dead.name}: different hosts"
+            )
+        switch = self.host.switch
+        switch.detach(dead.nic)
+        switch.detach(self.nic)
+        self.host.nics.pop(dead.nic.ip, None)
+        self.host.nics.pop(self.nic.ip, None)
+        self.nic.ip = dead.nic.ip
+        self.stack.ip = self.nic.ip
+        switch.attach(self.nic)
+        self.host.nics[self.nic.ip] = self.nic
 
     def shutdown(self) -> None:
         """Release host resources (scale-down path)."""

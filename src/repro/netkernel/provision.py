@@ -50,6 +50,9 @@ class Hypervisor:
         self.vms: List[VM] = []
         self.nsms: List[NSM] = []
         self.rdma_nsms: List[RdmaNsm] = []
+        #: Warm standby NSMs for failover (see :meth:`enable_failover`).
+        self.standby_pool: List[NSM] = []
+        self._standby_spec: Optional[NsmSpec] = None
 
     # ------------------------------------------------------------------- NSMs --
     def boot_nsm(self, spec: NsmSpec, name: Optional[str] = None) -> NSM:
@@ -70,6 +73,44 @@ class Hypervisor:
         handle = TenantRdma(self.sim, nsm, vm.cores[0])
         vm.rdma = handle  # type: ignore[attr-defined]
         return handle
+
+    def enable_failover(self, spec: Optional[NsmSpec] = None, standbys: int = 1) -> None:
+        """Provision warm standby NSMs and arm CoreEngine's failover path.
+
+        The provider keeps ``standbys`` pre-booted NSMs idle on this host
+        (paying their memory but skipping the form's boot delay — 30 s for
+        a VM-form NSM — at failover time).  When CoreEngine declares an
+        NSM dead it calls back here for a replacement; an exhausted pool
+        falls back to booting a cold standby of the dead NSM's own spec.
+
+        Heartbeats must be armed separately via
+        ``CoreEngineConfig.heartbeat_interval`` (they charge NSM CPU, so
+        the watchdog is opt-in per run).
+        """
+        self._standby_spec = spec
+        for index in range(standbys):
+            self.standby_pool.append(
+                self.boot_nsm(
+                    spec if spec is not None else NsmSpec(),
+                    name=f"{self.host.name}.standby{index}",
+                )
+            )
+        self.coreengine.standby_provider = self._take_standby
+
+    def _take_standby(self, dead: NSM) -> Optional[NSM]:
+        if self.standby_pool:
+            return self.standby_pool.pop(0)
+        # Pool exhausted: boot a cold replacement (same spec as the dead
+        # NSM unless a standby spec was pinned).  A host out of memory
+        # yields no standby — connections still reset cleanly, new ops
+        # fail typed rather than the watchdog dying mid-failover.
+        try:
+            return self.boot_nsm(
+                self._standby_spec if self._standby_spec is not None else dead.spec,
+                name=f"{dead.name}.standby",
+            )
+        except RuntimeError:
+            return None
 
     def find_shared_nsm(self, congestion_control: str) -> Optional[NSM]:
         """An existing NSM with capacity offering this stack (multiplexing)."""

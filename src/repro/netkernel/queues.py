@@ -24,7 +24,22 @@ from ..obs import runtime as obs_runtime
 from ..sim import Event, Simulator
 from .nqe import Nqe
 
-__all__ = ["NotifyMode", "NqeRing", "PriorityNqeRing", "RingPump", "BatchRingPump"]
+__all__ = [
+    "NotifyMode",
+    "NqeRing",
+    "PriorityNqeRing",
+    "RingPump",
+    "BatchRingPump",
+    "QueueTimeout",
+]
+
+
+class QueueTimeout(Exception):
+    """A blocked ``push`` waited longer than its timeout for ring space.
+
+    Raised through the push event so a backpressured producer can abort
+    instead of hanging forever behind a dead consumer.
+    """
 
 
 class NotifyMode(enum.Enum):
@@ -64,6 +79,10 @@ class NqeRing:
         self.total_pushed = 0
         self.total_popped = 0
         self.high_watermark = 0
+        self.push_timeouts = 0
+        #: Fault injection: elements destroyed / duplicated in place.
+        self.dropped_corrupt = 0
+        self.duplicated_corrupt = 0
 
     def __len__(self) -> int:
         return self._count
@@ -73,8 +92,13 @@ class NqeRing:
         return self._count >= self.capacity
 
     # -- producer -----------------------------------------------------------
-    def push(self, nqe: Nqe) -> Event:
-        """Enqueue; the event fires when the ring has accepted the element."""
+    def push(self, nqe: Nqe, timeout: Optional[float] = None) -> Event:
+        """Enqueue; the event fires when the ring has accepted the element.
+
+        With ``timeout`` set, a push still waiting for space after that
+        many simulated seconds fails with :class:`QueueTimeout` instead of
+        blocking forever (counted as ``queue.*.push_timeouts``).
+        """
         event = Event(self.sim)
         if self._count < self.capacity:
             self._accept(nqe)
@@ -82,8 +106,24 @@ class NqeRing:
         else:
             if self._traced:
                 self.tracer.count(f"queue.{self.kind}.full_waits")
-            self._putters.append((event, nqe))
+            entry = (event, nqe)
+            self._putters.append(entry)
+            if timeout is not None:
+                self.sim.schedule_call(timeout, self._putter_timeout, entry)
         return event
+
+    def _putter_timeout(self, entry) -> None:
+        """Fail a still-blocked putter; a no-op if it was admitted."""
+        try:
+            self._putters.remove(entry)
+        except ValueError:
+            return  # already admitted (or ring torn down)
+        self.push_timeouts += 1
+        if self._traced:
+            self.tracer.count(f"queue.{self.kind}.push_timeouts")
+        entry[0].fail(
+            QueueTimeout(f"push to full ring {self.name!r} timed out")
+        )
 
     def try_push(self, nqe: Nqe) -> bool:
         """Non-blocking push; False when the ring is full."""
@@ -214,6 +254,73 @@ class NqeRing:
             if event is not None:
                 event.succeed()
 
+    # -- fault injection ------------------------------------------------------
+    def corrupt_drop(self, count: int = 1) -> int:
+        """Destroy up to ``count`` queued elements (ring corruption fault).
+
+        Any huge-page descriptor riding a destroyed nqe is released so the
+        region does not leak; the consumer simply never sees the element —
+        recovery is the producer's timeout/retry machinery.
+        """
+        dropped = 0
+        while dropped < count and self._count > 0:
+            nqe = self._dequeue()
+            self._count -= 1
+            dropped += 1
+            chunk = nqe.data_desc
+            if chunk is not None and not chunk.freed:
+                chunk.free()
+        self.dropped_corrupt += dropped
+        if dropped and self._traced:
+            self.tracer.count(f"queue.{self.kind}.corrupt_dropped", dropped)
+        if self._putters:
+            self._admit_waiting_putters()
+        return dropped
+
+    def corrupt_duplicate(self, count: int = 1) -> int:
+        """Re-enqueue copies of up to ``count`` queued elements at the tail.
+
+        Only descriptor-free nqes are duplicated (a shared huge-page chunk
+        would be freed twice); duplicates keep their token, so consumers
+        dedup them — ServiceLib by token memory, GuestLib by the pending
+        map.  Stops early when the ring fills.
+        """
+        from dataclasses import replace
+
+        candidates = [n for n in self._snapshot() if n.data_desc is None]
+        duplicated = 0
+        for nqe in candidates:
+            if duplicated >= count or self.is_full:
+                break
+            self._accept(replace(nqe))
+            duplicated += 1
+        self.duplicated_corrupt += duplicated
+        if duplicated and self._traced:
+            self.tracer.count(f"queue.{self.kind}.corrupt_duplicated", duplicated)
+        return duplicated
+
+    def drain(self) -> List[Nqe]:
+        """Empty the ring (failover cleanup), releasing ridden descriptors.
+
+        Returns the drained elements.  Blocked putters are admitted into
+        the now-empty ring (their nqes will hit the dead-NSM error paths
+        downstream rather than strand their producers).
+        """
+        drained: List[Nqe] = []
+        while self._count > 0:
+            nqe = self._dequeue()
+            self._count -= 1
+            chunk = nqe.data_desc
+            if chunk is not None and not chunk.freed:
+                chunk.free()
+            drained.append(nqe)
+        if self._putters:
+            self._admit_waiting_putters()
+        return drained
+
+    def _snapshot(self) -> List[Nqe]:
+        return list(self._items)
+
 
 class PriorityNqeRing(NqeRing):
     """Two-class ring: connection events are served before data events."""
@@ -233,6 +340,9 @@ class PriorityNqeRing(NqeRing):
         if self._conn_items:
             return self._conn_items.popleft()
         return self._data_items.popleft()
+
+    def _snapshot(self) -> List[Nqe]:
+        return list(self._conn_items) + list(self._data_items)
 
 
 class RingPump:
@@ -263,7 +373,7 @@ class RingPump:
     process; ``post(token)`` runs once the nqe is fully handled.
     """
 
-    __slots__ = ("ring", "core", "cost", "handle", "pre", "post", "idle", "_token")
+    __slots__ = ("ring", "core", "cost", "handle", "pre", "post", "idle", "stopped", "_token")
 
     def __init__(self, ring, core, cost_seconds, handle, pre=None, post=None):
         self.ring = ring
@@ -273,15 +383,23 @@ class RingPump:
         self.pre = pre
         self.post = post
         self.idle = True
+        self.stopped = False
         self._token = None
         ring.attach_pump(self.notify)
 
+    def stop(self) -> None:
+        """Fault injection: the consumer died; never drain again."""
+        self.stopped = True
+
     def notify(self) -> None:
-        if self.idle:
+        if self.idle and not self.stopped:
             self.idle = False
             self._next()
 
     def _next(self) -> None:
+        if self.stopped:
+            self.idle = True
+            return
         nqe = self.ring.try_pop()
         if nqe is None:
             self.idle = True
@@ -322,7 +440,7 @@ class BatchRingPump:
     the blocking slow path, drained inline in a throwaway process.
     """
 
-    __slots__ = ("ring", "core", "burst", "per_batch", "per_nqe", "pre_batch", "handle", "idle")
+    __slots__ = ("ring", "core", "burst", "per_batch", "per_nqe", "pre_batch", "handle", "idle", "stopped")
 
     def __init__(self, ring, core, burst, per_batch_s, per_nqe_s, handle, pre_batch=None):
         self.ring = ring
@@ -333,14 +451,22 @@ class BatchRingPump:
         self.handle = handle
         self.pre_batch = pre_batch
         self.idle = True
+        self.stopped = False
         ring.attach_pump(self.notify)
 
+    def stop(self) -> None:
+        """Fault injection: the consumer died; never drain again."""
+        self.stopped = True
+
     def notify(self) -> None:
-        if self.idle:
+        if self.idle and not self.stopped:
             self.idle = False
             self._next()
 
     def _next(self) -> None:
+        if self.stopped:
+            self.idle = True
+            return
         batch = self.ring.pop_batch(self.burst)
         n = len(batch)
         if n == 0:

@@ -10,6 +10,7 @@ huge pages and push DATA / ACCEPT_EVENT nqes into the NSM receive queue.
 
 from __future__ import annotations
 
+from collections import deque
 from functools import partial
 from typing import Callable, Dict, Optional
 
@@ -64,6 +65,7 @@ class ServiceLib:
         allocate_cid: Callable[[], int],
         notify_mode: NotifyMode = NotifyMode.POLLING,
         batch: Optional[BatchPolicy] = None,
+        dedup: bool = False,
     ) -> None:
         self.sim = sim
         self.nsm = nsm
@@ -83,6 +85,20 @@ class ServiceLib:
         self.ops_handled = 0
         self.tracer = obs_runtime.get_tracer()
         self._traced = self.tracer.enabled
+        # --- fault tolerance ---------------------------------------------
+        #: Crashed ServiceLibs stop consuming and producing; recovery is
+        #: CoreEngine's heartbeat watchdog + failover.
+        self.crashed = False
+        #: Slow-down fault: per-op cost multiplier (1.0 = healthy).
+        self.degraded = 1.0
+        self._base_op_cost = self.op_cost
+        self._pump = None
+        #: Retry dedup (on when GuestLib op timeouts are armed): bounded
+        #: memory of recently executed tokens; a retried nqe whose original
+        #: already executed is dropped instead of re-run.
+        self._dedup = dedup
+        self._seen_tokens: set = set()
+        self._seen_order: deque = deque()
         # --- per-tenant QoS (§5): DRR op scheduling + egress rate caps ---
         self.qos = nsm.spec.qos
         self._drr: Optional[DrrScheduler] = None
@@ -125,6 +141,8 @@ class ServiceLib:
         """Move nqes from the shared ring into per-worker shards by cID."""
         while True:
             yield self.job_queue.wait_nonempty()
+            if self.crashed:
+                return
             for nqe in self.job_queue.pop_batch():
                 shard = (nqe.cid or 0) % self.workers
                 self._shards[shard].try_put(nqe)
@@ -149,7 +167,7 @@ class ServiceLib:
                     span.end()
                 return None
 
-            BatchRingPump(
+            self._pump = BatchRingPump(
                 self.job_queue,
                 self.core,
                 policy.batch_size,
@@ -170,9 +188,11 @@ class ServiceLib:
                 if span is not None:
                     span.end()
 
-            RingPump(self.job_queue, self.core, self.op_cost, handle, self._begin_op, post)
+            self._pump = RingPump(
+                self.job_queue, self.core, self.op_cost, handle, self._begin_op, post
+            )
         else:
-            RingPump(self.job_queue, self.core, self.op_cost, handle)
+            self._pump = RingPump(self.job_queue, self.core, self.op_cost, handle)
 
     def _begin_op(self, nqe: Nqe, cpu_ns: Optional[float] = None):
         """Open the per-op span (covers the NSM-core charge + dispatch)."""
@@ -191,6 +211,8 @@ class ServiceLib:
         store = self._shards[index]
         while True:
             nqe = yield store.get()
+            if self.crashed:
+                return
             span = self._begin_op(nqe)
             yield core.execute(self.op_cost)
             self.ops_handled += 1
@@ -205,8 +227,12 @@ class ServiceLib:
             yield from self._job_loop_batched(core)
             return
         while True:
+            if self.crashed:
+                return
             if self._drr is None or len(self._drr) == 0:
                 yield self.job_queue.wait_nonempty()
+                if self.crashed:
+                    return
                 if self.notify_mode is NotifyMode.BATCHED_INTERRUPT:
                     yield self.sim.timeout(INTERRUPT_DELAY)
                     yield core.execute(
@@ -245,6 +271,8 @@ class ServiceLib:
         per_nqe_ns = policy.per_nqe_ns * multiplier
         while True:
             yield self.job_queue.wait_nonempty()
+            if self.crashed:
+                return
             if self.notify_mode is NotifyMode.BATCHED_INTERRUPT:
                 yield self.sim.timeout(INTERRUPT_DELAY)
                 yield core.execute(INTERRUPT_COST_NS * multiplier * NANOS)
@@ -263,7 +291,60 @@ class ServiceLib:
     #: and seven bound methods — on every dispatched nqe).
     _OP_HANDLERS = {}  # populated after the class body
 
+    # ------------------------------------------------------- fault tolerance --
+    def crash(self) -> None:
+        """Kill this ServiceLib: stop consuming jobs, stop delivering data.
+
+        Idempotent.  In-flight copy chains may still fire once; their
+        results are dropped by the ``crashed`` guards.  Everything else —
+        surfacing errors to guests, replacing the NSM — happens upstream in
+        CoreEngine, keyed off missed heartbeats.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        if self._pump is not None:
+            self._pump.stop()
+        if self._traced:
+            self.tracer.count("servicelib.crashes")
+
+    def set_degraded(self, factor: float) -> None:
+        """Slow-down fault: scale the per-op cost by ``factor`` (1.0 heals)."""
+        if factor <= 0:
+            raise ValueError("degradation factor must be > 0")
+        self.degraded = factor
+        self.op_cost = self._base_op_cost * factor
+        pump = self._pump
+        if pump is None:
+            return
+        if isinstance(pump, BatchRingPump):
+            multiplier = self.nsm.form.cpu_multiplier
+            pump.per_batch = self.batch.per_batch_ns * multiplier * NANOS * factor
+            pump.per_nqe = self.batch.per_nqe_ns * multiplier * NANOS * factor
+        else:
+            pump.cost = self.op_cost
+
     def _dispatch(self, nqe: Nqe, span=None) -> None:
+        if self.crashed:
+            chunk = nqe.data_desc
+            if chunk is not None and not chunk.freed:
+                chunk.free()
+            return
+        if self._dedup:
+            token = nqe.token
+            seen = self._seen_tokens
+            if token in seen:
+                # Retry whose original already executed (or a corrupted
+                # ring's duplicate): drop it.  The shared huge-page chunk,
+                # if any, is owned by the original's completion path.
+                if self._traced:
+                    self.tracer.count("servicelib.dup_ops")
+                return
+            seen.add(token)
+            order = self._seen_order
+            order.append(token)
+            if len(order) > 4096:
+                seen.discard(order.popleft())
         op = nqe.op
         if op is NqeOp.SEND:
             try:
@@ -360,7 +441,10 @@ class ServiceLib:
 
         def finish(_ev):
             # The stack has buffered the data; huge-page chunk is reusable.
-            chunk.free()
+            # (Guarded: a guest-side op timeout or ring-corruption cleanup
+            # may already have released it.)
+            if not chunk.freed:
+                chunk.free()
             self._complete_ok(nqe, nbytes)
 
         bucket = self._rate_bucket(nqe.vm_id)
@@ -397,6 +481,15 @@ class ServiceLib:
             backend.listener.close()
         elif backend.conn is not None:
             backend.conn.close()
+        self._complete_ok(nqe)
+
+    def _op_heartbeat(self, nqe: Nqe) -> None:
+        """Liveness probe from CoreEngine: answer immediately.
+
+        The completion carries ``args=HEARTBEAT`` and is intercepted by
+        CoreEngine's completion mover; a crashed ServiceLib never gets
+        here, which is exactly the point.
+        """
         self._complete_ok(nqe)
 
     def _op_setsockopt(self, nqe: Nqe) -> None:
@@ -449,6 +542,8 @@ class ServiceLib:
         )
 
     def _rx_ready(self, backend: _Backend, _event) -> None:
+        if self.crashed:
+            return  # dead NSMs deliver nothing (and stop re-arming)
         taken = backend.conn.recv_buffer.try_read(self.rx_chunk)
         if taken is None:
             self._rx_wait(backend)
@@ -481,6 +576,10 @@ class ServiceLib:
         self._rx_staged(backend, chunk, root, stage)
 
     def _rx_staged(self, backend: _Backend, chunk, root, stage) -> None:
+        if self.crashed:  # copy chain outlived the crash: drop the data
+            if not chunk.freed:
+                chunk.free()
+            return
         if stage is not None:
             stage.end()
         nqe = Nqe(
@@ -509,4 +608,5 @@ ServiceLib._OP_HANDLERS = {
     NqeOp.CONNECT: ServiceLib._op_connect,
     NqeOp.CLOSE: ServiceLib._op_close,
     NqeOp.SETSOCKOPT: ServiceLib._op_setsockopt,
+    NqeOp.HEARTBEAT: ServiceLib._op_heartbeat,
 }

@@ -67,3 +67,22 @@ def test_trace_parser_defaults():
     assert args.out == "trace.json"
     assert args.sample == 1
     assert args.duration is None
+
+
+def test_chaos_parser_defaults():
+    args = build_parser().parse_args(["chaos"])
+    assert args.seed == 7 and args.flows == 2 and not args.smoke
+
+
+def test_chaos_smoke_command_passes(capsys):
+    assert main(["chaos", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "chaos --smoke OK" in out
+    assert "failover" in out
+
+
+def test_chaos_random_plan_command(capsys):
+    assert main(["chaos", "--seed", "3", "--duration", "0.15", "--faults", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "fault plan: 2 fault(s), seed=3" in out
+    assert "aggregate goodput" in out

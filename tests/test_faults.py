@@ -1,0 +1,241 @@
+"""Fault injection, datapath timeouts, NSM failover, chaos harness."""
+
+import pytest
+
+from repro.api.errors import ConnectionReset, OperationTimedOut
+from repro.experiments.chaos import run_chaos, run_chaos_smoke
+from repro.experiments.common import make_lan_testbed
+from repro.experiments.figure4 import measure_lan_throughput
+from repro.faults import Fault, FaultInjector, FaultKind, FaultPlan
+from repro.net import Endpoint
+from repro.netkernel import CoreEngineConfig, Nqe, NqeOp, NqeRing, NsmSpec
+
+
+# --------------------------------------------------------------- fault plans --
+def random_plan(seed, faults=6):
+    return FaultPlan.random(
+        seed,
+        duration=1.0,
+        nsm_targets=("n1", "n2"),
+        ring_targets=("r1",),
+        region_targets=("hp1",),
+        nic_targets=("nic1",),
+        ce_targets=("ce1",),
+        faults=faults,
+    )
+
+
+def test_random_plan_is_deterministic():
+    a, b = random_plan(42), random_plan(42)
+    assert a.faults == b.faults
+    assert len(a) == 6
+
+
+def test_random_plan_seed_changes_schedule():
+    assert random_plan(1).faults != random_plan(2).faults
+
+
+def test_random_plan_caps_crashes():
+    plan = FaultPlan.random(
+        9, duration=1.0, nsm_targets=("n1", "n2"), faults=40, crashes=1
+    )
+    crashes = [f for f in plan if f.kind is FaultKind.NSM_CRASH]
+    assert len(crashes) <= 1
+
+
+def test_plan_sorted_by_time():
+    plan = FaultPlan.scripted(
+        [
+            Fault(at=0.5, kind=FaultKind.NSM_CRASH, target="n"),
+            Fault(at=0.1, kind=FaultKind.NSM_CRASH, target="m"),
+        ]
+    )
+    assert [f.at for f in plan] == [0.1, 0.5]
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError):
+        Fault(at=-1.0, kind=FaultKind.NSM_CRASH, target="n")
+    with pytest.raises(ValueError):
+        Fault(at=0.0, kind=FaultKind.NIC_BLACKHOLE, target="n")  # no duration
+    with pytest.raises(ValueError):
+        Fault(at=0.0, kind=FaultKind.NSM_SLOWDOWN, target="n", duration=1, factor=0)
+    with pytest.raises(ValueError):
+        Fault(at=0.0, kind=FaultKind.LINK_LOSS, target="w", duration=1, loss_p=0.0)
+
+
+def test_plan_describe_mentions_every_fault():
+    plan = random_plan(3)
+    text = plan.describe()
+    assert all(f.kind.value in text for f in plan)
+
+
+# ------------------------------------------------------------- the injector --
+def test_injector_rejects_unknown_target(sim):
+    plan = FaultPlan.scripted([Fault(at=0.1, kind=FaultKind.NSM_CRASH, target="?")])
+    injector = FaultInjector(sim, plan)
+    with pytest.raises(KeyError):
+        injector.start()
+
+
+def test_injector_ring_drop_and_duplicate(sim):
+    ring = NqeRing(sim, capacity=8)
+    for _ in range(3):
+        ring.push(Nqe(op=NqeOp.DATA, vm_id=1, fd=3))
+    plan = FaultPlan.scripted(
+        [
+            Fault(at=0.01, kind=FaultKind.RING_DROP, target="r", count=2),
+            Fault(at=0.02, kind=FaultKind.RING_DUP, target="r", count=1),
+        ]
+    )
+    injector = FaultInjector(sim, plan)
+    injector.register_ring("r", ring)
+    injector.start()
+    sim.run(until=0.03)
+    # 3 - 2 dropped + 1 duplicated = 2 queued
+    assert len(ring) == 2
+    assert ring.dropped_corrupt == 2
+    assert ring.duplicated_corrupt == 1
+    assert [rec["kind"] for rec in injector.injected] == ["ring-drop", "ring-dup"]
+
+
+def test_injector_nic_blackhole_repairs(sim):
+    from repro.net import OffloadConfig, VirtualNIC
+
+    nic = VirtualNIC(sim, "10.9.9.9", OffloadConfig())
+    plan = FaultPlan.scripted(
+        [Fault(at=0.01, kind=FaultKind.NIC_BLACKHOLE, target="nic", duration=0.05)]
+    )
+    injector = FaultInjector(sim, plan)
+    injector.register_nic("nic", nic)
+    injector.start()
+    sim.run(until=0.02)
+    assert nic.failed
+    sim.run(until=0.1)
+    assert not nic.failed
+    assert injector.recovered and injector.recovered[0]["kind"] == "nic-blackhole"
+
+
+def test_injector_hugepage_exhaust_releases(sim):
+    from repro.netkernel.hugepages import HugePageRegion
+
+    region = HugePageRegion(sim, memcpy=None)
+    plan = FaultPlan.scripted(
+        [Fault(at=0.01, kind=FaultKind.HUGEPAGE_EXHAUST, target="hp", duration=0.05)]
+    )
+    injector = FaultInjector(sim, plan)
+    injector.register_region("hp", region)
+    injector.start()
+    sim.run(until=0.02)
+    assert region.free_bytes == 0
+    sim.run(until=0.1)
+    assert region.free_bytes > 0
+
+
+# ----------------------------------------------- GuestLib timeouts (ETIMEDOUT) --
+def _boot_pair(config):
+    testbed = make_lan_testbed(coreengine_config=config)
+    nsm_a = testbed.hypervisor_a.boot_nsm(NsmSpec())
+    nsm_b = testbed.hypervisor_b.boot_nsm(NsmSpec())
+    vm_a = testbed.hypervisor_a.boot_netkernel_vm("c", nsm_a)
+    vm_b = testbed.hypervisor_b.boot_netkernel_vm("s", nsm_b)
+    return testbed, nsm_a, nsm_b, vm_a, vm_b
+
+
+def test_connect_to_dead_nsm_times_out_typed():
+    config = CoreEngineConfig(op_timeout=0.001, op_retries=1)
+    testbed, _, nsm_b, vm_a, vm_b = _boot_pair(config)
+    nsm_b.crash()  # server side dead; handshake can never complete
+    caught = []
+
+    def client(api, remote):
+        fd = yield api.socket()
+        try:
+            yield api.connect(fd, remote)
+        except OperationTimedOut as exc:
+            caught.append(exc)
+
+    testbed.sim.process(client(vm_a.api, Endpoint(vm_b.api.ip, 5000)))
+    testbed.sim.run(until=0.1)
+    assert len(caught) == 1
+    assert vm_a.api.op_timeouts == 1
+    assert vm_a.api.op_retries_sent == 1  # one retry before giving up
+
+
+def test_op_timeout_retry_recovers_without_duplicates():
+    """A retried op whose original still completes is not double-counted."""
+    config = CoreEngineConfig(op_timeout=0.002)
+    testbed, _, _, vm_a, vm_b = _boot_pair(config)
+    from repro.apps import BulkReceiver, BulkSender
+
+    rx = BulkReceiver(testbed.sim, vm_b.api, 5000)
+    tx = BulkSender(testbed.sim, vm_a.api, Endpoint(vm_b.api.ip, 5000),
+                    total_bytes=512 * 1024)
+    testbed.sim.run(until=0.2)
+    assert rx.meter.bytes == 512 * 1024
+    assert tx.bytes_sent == 512 * 1024
+
+
+# ------------------------------------------------------------ failover e2e --
+def test_nsm_crash_mid_transfer_fails_over_and_recovers():
+    result = run_chaos_smoke(seed=7, flows=2)
+    assert result.unrecovered == 0
+    assert len(result.failovers) >= 1
+    assert result.failovers[0]["nsm"].startswith("nsm")
+    assert result.failovers[0]["standby"] is not None
+    assert result.failovers[0]["connections_reset"] > 0
+    # Every flow reconnected to the standby and kept moving bytes.
+    assert all(flow.reconnects >= 1 for flow in result.flows)
+    assert all(flow.recovered for flow in result.flows)
+    # Recovery latency was measured and is sane (detection budget is 3 ms).
+    assert result.recovery and 0 <= result.recovery[0][1] < 0.1
+    assert result.goodput_gbps > 1.0
+    # The datapath surfaced typed errors, not hangs.
+    assert result.resets_seen > 0
+
+
+def test_failover_resets_inflight_ops_typed():
+    """In-flight ops against the dead NSM fail ECONNRESET via RESET nqes."""
+    config = CoreEngineConfig(op_timeout=0.002, heartbeat_interval=0.001)
+    testbed, _, nsm_b, vm_a, vm_b = _boot_pair(config)
+    testbed.hypervisor_b.enable_failover(standbys=1)
+    caught = []
+
+    def server(api):
+        fd = yield api.socket()
+        yield api.bind(fd, 5000)
+        yield api.listen(fd)
+        try:
+            yield api.accept(fd)
+        except ConnectionReset as exc:
+            caught.append(exc)
+
+    testbed.sim.process(server(vm_b.api))
+    testbed.sim.schedule_call(0.02, nsm_b.crash)
+    testbed.sim.run(until=0.1)
+    assert len(caught) == 1
+    assert vm_b.api.resets_seen >= 1
+    assert testbed.hypervisor_b.coreengine.failovers
+
+
+def test_standby_pool_exhaustion_degrades_gracefully():
+    """No standby left: connections still reset, nothing deadlocks."""
+    config = CoreEngineConfig(op_timeout=0.002, heartbeat_interval=0.001)
+    testbed, _, nsm_b, vm_a, vm_b = _boot_pair(config)
+    hyp_b = testbed.hypervisor_b
+    hyp_b.enable_failover(standbys=0)
+    hyp_b.host.reserve_memory(hyp_b.host.memory_gb - hyp_b.host._memory_used_gb)
+    testbed.sim.schedule_call(0.02, nsm_b.crash)
+    testbed.sim.run(until=0.1)
+    assert hyp_b.coreengine.failovers
+    assert hyp_b.coreengine.failovers[0]["standby"] is None
+
+
+# ------------------------------------------------------------- golden runs --
+def test_empty_plan_is_bit_identical_to_figure4():
+    base = measure_lan_throughput("netkernel", flows=2, duration=0.12, warmup=0.03)
+    result = run_chaos(flows=2, duration=0.12, warmup=0.03)
+    assert result.goodput_gbps == base
+    assert result.plan_faults == 0
+    assert result.errors == 0
+    assert result.unrecovered == 0

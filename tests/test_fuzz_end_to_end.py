@@ -92,3 +92,40 @@ def test_fuzz_concurrent_flows_are_isolated(sizes, seed):
         rig.sim.process(client(rig.sim, port, nbytes))
     rig.run(until=600.0)
     assert received == {5000 + i: n for i, n in enumerate(sizes)}
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    faults=st.integers(1, 7),
+)
+def test_fuzz_chaos_never_deadlocks_and_conserves(seed, faults):
+    """Seeded fault plans through the full NetKernel datapath.
+
+    Invariants under arbitrary fault schedules: the run terminates (no
+    deadlock — ``sim.run`` returns and this test finishes), delivery
+    never invents bytes (duplication faults and op retries are
+    deduplicated), and every duration-bounded fault records a recovery.
+    Senders keep at most one SEND in flight, and a timed-out SEND may
+    still deliver later, so delivered bytes may exceed *counted* sent
+    bytes by at most one write per connection attempt plus one per
+    timed-out op.
+    """
+    from repro.experiments.chaos import default_random_plan, run_chaos
+
+    plan = default_random_plan(seed, duration=0.2, warmup=0.0, faults=faults)
+    result = run_chaos(plan, flows=2, duration=0.2, warmup=0.0)
+    delivered = sum(flow.bytes for flow in result.flows)
+    sent = sum(flow.bytes_sent for flow in result.flows)
+    attempts = sum(1 + flow.reconnects for flow in result.flows)
+    slack = 65536 * (attempts + result.op_timeouts)
+    assert delivered <= sent + slack
+    # Every injected fault except an NSM crash records its recovery
+    # (crash recovery is CoreEngine failover, logged separately).
+    expected = [rec for rec in result.injected if rec["kind"] != "nsm-crash"]
+    assert len(result.recovered_faults) == len(expected)
+    assert all(rec["at"] >= 0.0 for rec in result.recovered_faults)

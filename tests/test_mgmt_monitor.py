@@ -111,3 +111,34 @@ def test_remove_trigger_stops_events():
 def test_engine_validates_interval(sim):
     with pytest.raises(ValueError):
         TriggerEngine(sim, interval=0)
+
+
+# ---------------------------------------------------- NIC_DROPS (faults PR) --
+def test_nic_drops_trigger_fires_on_blackholed_nsm():
+    """A failed (blackholed) NSM NIC drops every packet; the Trumpet
+    NIC_DROPS trigger is the provider's detection signal."""
+    testbed, nsm_tx, nsm_rx = make_loaded_rig()
+    engine = TriggerEngine(testbed.sim, interval=0.01)
+    engine.install(
+        Trigger("dead-nic", nsm_rx, Signal.NIC_DROPS, threshold=100.0,
+                cooldown=0.05)
+    )
+    testbed.sim.schedule_call(0.1, nsm_rx.nic.fail)
+    testbed.sim.run(until=0.3)
+    events = engine.events_for("dead-nic")
+    assert events
+    assert all(event.at > 0.1 for event in events)  # only after the fault
+    assert all(event.value > 100.0 for event in events)
+    # Cooldown hysteresis: no two firings closer than the cooldown.
+    for first, second in zip(events, events[1:]):
+        assert second.at - first.at >= 0.05 - 1e-9
+
+
+def test_nic_drops_trigger_quiet_on_healthy_nsm():
+    testbed, nsm_tx, nsm_rx = make_loaded_rig()
+    engine = TriggerEngine(testbed.sim, interval=0.01)
+    engine.install(
+        Trigger("healthy", nsm_rx, Signal.NIC_DROPS, threshold=1.0)
+    )
+    testbed.sim.run(until=0.2)
+    assert engine.events_for("healthy") == []

@@ -175,3 +175,103 @@ def test_property_ring_conserves_elements_under_backpressure(count, capacity):
     sim.process(consumer(sim))
     sim.run(until=120)
     assert popped == pushed
+
+
+# ------------------------------------------------- fault tolerance (PR 3) --
+def test_push_timeout_raises_queue_timeout(sim):
+    from repro.netkernel import QueueTimeout
+
+    ring = NqeRing(sim, capacity=1)
+    ring.push(data_nqe())
+    blocked = ring.push(data_nqe(), timeout=0.01)
+    failures = []
+    blocked.add_callback(lambda ev: failures.append(ev.value) if not ev.ok else None)
+    sim.run(until=0.02)
+    assert len(failures) == 1
+    assert isinstance(failures[0], QueueTimeout)
+    assert ring.push_timeouts == 1
+
+
+def test_push_timeout_cancelled_on_admission(sim):
+    ring = NqeRing(sim, capacity=1)
+    ring.push(data_nqe())
+    waiting = data_nqe()
+    blocked = ring.push(waiting, timeout=0.01)
+    ring.try_pop()  # space frees before the deadline
+    assert blocked.triggered and blocked.ok
+    sim.run(until=0.05)  # the armed timer fires harmlessly
+    assert ring.push_timeouts == 0
+    assert ring.try_pop() is waiting
+
+
+def test_timed_out_nqe_never_enters_ring(sim):
+    ring = NqeRing(sim, capacity=1)
+    occupant = data_nqe()
+    ring.push(occupant)
+    ring.push(data_nqe(), timeout=0.005)
+    sim.run(until=0.01)  # deadline passes while the ring is still full
+    ring.try_pop()
+    assert ring.try_pop() is None  # the timed-out putter was removed
+
+
+def test_offer_and_push_deliver_in_identical_order_when_full(sim):
+    """offer() (fire-and-forget) and push() (event) share one FIFO of
+    backpressured putters: arrival order is delivery order."""
+
+    def drain(ring):
+        popped = []
+        while True:
+            nqe = ring.try_pop()
+            if nqe is None:
+                return popped
+            popped.append(nqe)
+
+    mixed = NqeRing(sim, capacity=2)
+    pure = NqeRing(sim, capacity=2)
+    mixed_nqes = [Nqe(op=NqeOp.DATA, token=i) for i in range(5)]
+    pure_nqes = [Nqe(op=NqeOp.DATA, token=i) for i in range(5)]
+    # Interleave offer/push against one ring, push-only against the other.
+    mixed.push(mixed_nqes[0])
+    mixed.push(mixed_nqes[1])
+    mixed.offer(mixed_nqes[2])  # full: queued behind the backpressure list
+    mixed.push(mixed_nqes[3])
+    mixed.offer(mixed_nqes[4])
+    for nqe in pure_nqes:
+        pure.push(nqe)
+    assert [n.token for n in drain(mixed)] == [n.token for n in drain(pure)]
+    assert [n.token for n in drain(mixed)] == []  # both fully drained
+
+
+def test_corrupt_drop_frees_data_descriptors(sim):
+    from repro.netkernel.hugepages import HugePageRegion
+
+    region = HugePageRegion(sim, memcpy=None)
+    chunk = region.try_alloc(4096)
+    ring = NqeRing(sim, capacity=4)
+    ring.push(Nqe(op=NqeOp.DATA, data_desc=chunk))
+    assert ring.corrupt_drop(2) == 1  # only one nqe was queued
+    assert chunk.freed
+    assert len(ring) == 0
+
+
+def test_corrupt_duplicate_skips_data_carrying_nqes(sim):
+    from repro.netkernel.hugepages import HugePageRegion
+
+    region = HugePageRegion(sim, memcpy=None)
+    ring = NqeRing(sim, capacity=8)
+    ring.push(Nqe(op=NqeOp.DATA, data_desc=region.try_alloc(4096)))
+    ring.push(conn_nqe())
+    assert ring.corrupt_duplicate(2) == 1  # the DATA nqe cannot be duplicated
+    assert len(ring) == 3
+
+
+def test_drain_empties_and_unblocks(sim):
+    ring = NqeRing(sim, capacity=2)
+    ring.push(data_nqe())
+    ring.push(data_nqe())
+    blocked = ring.push(data_nqe())
+    assert not blocked.triggered
+    drained = ring.drain()
+    assert len(drained) == 2
+    assert blocked.triggered  # backpressured putter admitted into the space
+    assert len(ring) == 1
