@@ -4,7 +4,9 @@ from .epoll import EPOLLIN, Epoll
 from .errors import (
     AddressInUse,
     BadFileDescriptor,
+    ConnectionReset,
     InvalidSocketState,
+    OperationTimedOut,
     SocketError,
     UnsupportedCongestionControl,
 )
@@ -20,4 +22,6 @@ __all__ = [
     "InvalidSocketState",
     "UnsupportedCongestionControl",
     "AddressInUse",
+    "OperationTimedOut",
+    "ConnectionReset",
 ]

@@ -3,13 +3,22 @@
 The paper's prototype defers select()/epoll() support to future work; we
 implement it, since event-driven servers (the RPC and web workloads) need
 it and it exercises GuestLib's event-notification path.
+
+Readiness is tracked incrementally, the way a real epoll keeps its ready
+list inside the kernel: each registered fd carries one persistent armed
+waiter (``api.wait_readable``), and when it fires the fd moves into a
+ready-set and wakes any pending ``wait()``.  A ``wait()`` call therefore
+touches only the ready fds — O(ready), not O(registered) — and arms no
+new per-fd Events of its own.  An fd is re-armed only after a ``wait()``
+observes it unready again, so a descriptor that stays readable across
+many waits (level-triggered behaviour) costs nothing per wait.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Optional, Tuple
 
-from ..sim import AnyOf, Event, Simulator
+from ..sim import Event, Simulator
 from .errors import BadFileDescriptor
 from .socket_api import SocketApi
 
@@ -26,42 +35,87 @@ class Epoll:
         self.sim = sim
         self.api = api
         self._interest: Dict[int, int] = {}
+        # fds believed readable; insertion-ordered, validated at wait().
+        self._ready: Dict[int, None] = {}
+        # fds with a live wait_readable() callback armed.
+        self._armed: set = set()
+        self._pending_wait: Optional[Event] = None
 
     def register(self, fd: int, events: int = EPOLLIN) -> None:
         if events != EPOLLIN:
             raise ValueError("only EPOLLIN is supported")
         self._interest[fd] = events
+        if self.api.readable_now(fd):
+            self._ready[fd] = None
+            self._wake()
+        else:
+            self._arm(fd)
 
     def unregister(self, fd: int) -> None:
         if fd not in self._interest:
             raise BadFileDescriptor(f"fd {fd} not registered")
         del self._interest[fd]
+        self._ready.pop(fd, None)
+        # An armed waiter may still fire later (e.g. the peer's FIN);
+        # _on_readable discards it because fd left the interest set.
+        self._armed.discard(fd)
+
+    def _arm(self, fd: int) -> None:
+        """Attach one persistent readiness callback to ``fd``."""
+        if fd in self._armed:
+            return
+        self._armed.add(fd)
+        self.api.wait_readable(fd).add_callback(
+            lambda ev, fd=fd: self._on_readable(fd, ev)
+        )
+
+    def _on_readable(self, fd: int, ev: Event) -> None:
+        if fd not in self._armed:
+            return  # unregistered (or re-armed afresh) since this was set up
+        self._armed.discard(fd)
+        if fd not in self._interest or not ev.ok:
+            return
+        self._ready[fd] = None
+        self._wake()
+
+    def _wake(self) -> None:
+        pending = self._pending_wait
+        if pending is None:
+            return
+        fired = self._collect_ready()
+        if fired:
+            self._pending_wait = None
+            pending.succeed(fired)
+
+    def _collect_ready(self) -> List[Tuple[int, int]]:
+        """Validate the ready-set; re-arm fds that went unready."""
+        fired: List[Tuple[int, int]] = []
+        stale: List[int] = []
+        for fd in self._ready:
+            if self.api.readable_now(fd):
+                fired.append((fd, EPOLLIN))
+            else:
+                stale.append(fd)
+        for fd in stale:
+            del self._ready[fd]
+            self._arm(fd)
+        return fired
 
     def wait(self) -> Event:
         """Event fires with ``[(fd, EPOLLIN), ...]`` of ready descriptors.
 
-        Level-triggered: fds that are already readable fire immediately.
+        Level-triggered: fds that are already readable fire immediately,
+        and an fd left readable (e.g. a short ``recv``) reports again on
+        the next ``wait()``.
         """
         if not self._interest:
             raise RuntimeError("epoll_wait() with an empty interest set")
-        ready = [
-            (fd, EPOLLIN) for fd in self._interest if self.api.readable_now(fd)
-        ]
         result = Event(self.sim)
-        if ready:
-            result.succeed(ready)
-            return result
-
-        waiters = {fd: self.api.wait_readable(fd) for fd in self._interest}
-        any_of = AnyOf(self.sim, list(waiters.values()))
-
-        def collect(_ev: Event) -> None:
-            fired = [
-                (fd, EPOLLIN)
-                for fd, waiter in waiters.items()
-                if waiter.triggered and waiter.ok
-            ]
+        fired = self._collect_ready()
+        if fired:
             result.succeed(fired)
-
-        any_of.add_callback(collect)
+            return result
+        if self._pending_wait is not None:
+            raise RuntimeError("epoll_wait() re-entered while already waiting")
+        self._pending_wait = result
         return result

@@ -10,6 +10,7 @@ __all__ = [
     "AddressInUse",
     "OperationTimedOut",
     "ConnectionReset",
+    "wrap_transport_error",
 ]
 
 
@@ -53,3 +54,24 @@ class ConnectionReset(SocketError):
     failed over: the standby NSM serves *new* connections, but TCP state
     of the old ones died with the old stack.
     """
+
+
+def wrap_transport_error(error: BaseException) -> BaseException:
+    """Translate a transport-layer exception into its API-level type.
+
+    The TCP layer fails events with its own exception classes
+    (``repro.tcp.connection.ConnectionReset`` — deliberately not a
+    :class:`SocketError`, since the TCP package stands alone), but apps
+    program against this module.  Every error crossing into app space —
+    the native socket API's connect completion, GuestLib's completion
+    delivery — passes through here so ``except SocketError`` means what
+    it says: a peer resetting the handshake must look exactly like a
+    backend reset.
+    """
+    if isinstance(error, SocketError):
+        return error
+    from ..tcp.connection import ConnectionReset as _TcpConnectionReset
+
+    if isinstance(error, _TcpConnectionReset):
+        return ConnectionReset(str(error))
+    return error

@@ -27,6 +27,7 @@ from .errors import (
     BadFileDescriptor,
     InvalidSocketState,
     UnsupportedCongestionControl,
+    wrap_transport_error,
 )
 
 __all__ = ["SocketApi", "KernelSocketApi"]
@@ -116,6 +117,7 @@ class KernelSocketApi(SocketApi):
         self.available_cc = available_cc
         self._fds: Dict[int, _KernelSocket] = {}
         self._next_fd = 3  # 0/1/2 are stdio, as tradition demands
+        self._bound_ports: set = set()  # ports held by live fds
 
     @property
     def ip(self) -> str:
@@ -151,9 +153,10 @@ class KernelSocketApi(SocketApi):
         sock = self._get(fd)
         if sock.conn is not None or sock.listener is not None:
             raise InvalidSocketState(f"fd {fd} already active")
-        if any(s.bound_port == port for s in self._fds.values() if s is not sock):
+        if port in self._bound_ports:
             raise AddressInUse(f"port {port}")
         sock.bound_port = port
+        self._bound_ports.add(port)
         event = Event(self.sim)
         event.succeed()
         return event
@@ -198,7 +201,7 @@ class KernelSocketApi(SocketApi):
             if ev.ok:
                 result.succeed()
             else:
-                result.fail(ev.value)
+                result.fail(wrap_transport_error(ev.value))
 
         established.add_callback(finish)
         return result
@@ -223,6 +226,8 @@ class KernelSocketApi(SocketApi):
         """
         sock = self._get(fd)
         self._fds.pop(fd, None)
+        if sock.bound_port is not None:
+            self._bound_ports.discard(sock.bound_port)
         if sock.conn is not None:
             sock.conn.close()
         elif sock.listener is not None:

@@ -9,8 +9,14 @@
                               containers,qos,fastpass,connscale}
     python -m repro trace figure4 --out trace.json   # cross-layer tracing
     python -m repro chaos [--smoke --seed 7]         # fault injection
+    python -m repro chaos --fuzz 8 --jobs 4          # parallel fuzz sweep
     python -m repro bench datapath [--quick]         # simulator wall-clock perf
+    python -m repro bench scale [--smoke]            # large-N scale benchmark
     python -m repro all                  # everything (several minutes)
+
+``--jobs N`` on figure4/figure5/ablation/chaos/bench fans independent
+runs across a worker-process pool (repro.parallel); merged output is
+bit-identical to ``--jobs 1``.
 """
 
 from __future__ import annotations
@@ -40,16 +46,34 @@ def run_micro(args: argparse.Namespace) -> str:
     return harness().table()
 
 
+def _progress_printer(label: str):
+    """Per-run progress lines on stderr (parallel sweeps take a while)."""
+
+    def progress(done: int, total: int, result) -> None:
+        status = f"{result.wall_s:.1f}s" if result.ok else f"FAILED: {result.error}"
+        print(f"[{label} {done}/{total}] {result.key} {status}", file=sys.stderr)
+
+    return progress
+
+
+def _jobs(args: argparse.Namespace) -> int:
+    return max(1, getattr(args, "jobs", 1) or 1)
+
+
 def run_figure4(args: argparse.Namespace) -> str:
     from .experiments import run_figure4 as harness
 
-    return harness(duration=args.duration, warmup=args.duration * 0.25).table()
+    return harness(
+        duration=args.duration, warmup=args.duration * 0.25, jobs=_jobs(args)
+    ).table()
 
 
 def run_figure5(args: argparse.Namespace) -> str:
     from .experiments import run_figure5 as harness
 
-    return harness(duration=args.duration, seeds=tuple(args.seeds)).table()
+    return harness(
+        duration=args.duration, seeds=tuple(args.seeds), jobs=_jobs(args)
+    ).table()
 
 
 _ABLATIONS: Dict[str, str] = {
@@ -65,10 +89,16 @@ _ABLATIONS: Dict[str, str] = {
 
 
 def run_ablation(args: argparse.Namespace) -> str:
+    import inspect
+
     import repro.experiments as experiments
 
     harness = getattr(experiments, _ABLATIONS[args.which])
-    return harness().table()
+    kwargs = {}
+    # Grid-shaped ablations accept ``jobs``; single-run ones don't.
+    if "jobs" in inspect.signature(harness).parameters:
+        kwargs["jobs"] = _jobs(args)
+    return harness(**kwargs).table()
 
 
 def run_all(args: argparse.Namespace) -> str:
@@ -92,17 +122,30 @@ def run_all(args: argparse.Namespace) -> str:
 
 
 def run_bench(args: argparse.Namespace) -> str:
-    from .experiments import bench_datapath
+    import json
 
-    result = bench_datapath.run_bench(quick=args.quick, repeats=args.repeats)
-    lines = [bench_datapath.render(result)]
-    if args.out:
-        import json
+    if args.which == "scale":
+        from .experiments import bench_scale
 
-        with open(args.out, "w") as fh:
+        result = bench_scale.run_bench(
+            smoke=args.smoke, jobs=_jobs(args), sweep=not args.no_sweep
+        )
+        render = bench_scale.render
+        out = args.out if args.out is not None else "BENCH_scale.json"
+    else:
+        from .experiments import bench_datapath
+
+        result = bench_datapath.run_bench(
+            quick=args.quick, repeats=args.repeats, jobs=_jobs(args)
+        )
+        render = bench_datapath.render
+        out = args.out if args.out is not None else "BENCH_datapath.json"
+    lines = [render(result)]
+    if out:
+        with open(out, "w") as fh:
             json.dump(result, fh, indent=2)
             fh.write("\n")
-        lines.append(f"results -> {args.out}")
+        lines.append(f"results -> {out}")
     return "\n".join(lines)
 
 
@@ -179,6 +222,21 @@ def run_chaos(args: argparse.Namespace) -> str:
     """Figure workloads under a fault plan (see repro.experiments.chaos)."""
     from .experiments import chaos
 
+    if args.fuzz:
+        outcomes = chaos.run_chaos_fuzz(
+            count=args.fuzz,
+            base_seed=args.seed,
+            flows=args.flows,
+            duration=args.duration,
+            faults=args.faults,
+            jobs=_jobs(args),
+            progress=_progress_printer("chaos-fuzz"),
+        )
+        report = chaos.render_fuzz_sweep(outcomes)
+        if any(outcome.error is not None for outcome in outcomes):
+            print(report)
+            raise SystemExit("chaos --fuzz: at least one run FAILED")
+        return report
     if args.smoke:
         result = chaos.run_chaos_smoke(seed=args.seed, flows=args.flows)
         failures = []
@@ -209,9 +267,12 @@ def run_list(args: argparse.Namespace) -> str:
         "  trace      run figure4/figure5 with the repro.obs tracer on;"
         " export a Chrome trace",
         "  chaos      figure4 workload under a seeded fault plan"
-        " (NSM crash/failover, timeouts)",
-        "  bench      simulator wall-clock benchmarks (datapath)",
+        " (NSM crash/failover, timeouts); --fuzz N for a sweep",
+        "  bench      simulator wall-clock benchmarks (datapath, scale)",
         "  all        everything above in sequence",
+        "",
+        "figure4/figure5/ablation/chaos/bench accept --jobs N to fan",
+        "independent runs across worker processes (bit-identical output).",
     ]
     return "\n".join(lines)
 
@@ -232,31 +293,45 @@ def build_parser() -> argparse.ArgumentParser:
         runner=run_micro
     )
 
+    def add_jobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="fan independent runs across N worker processes "
+                            "(results bit-identical to --jobs 1)")
+
     fig4 = sub.add_parser("figure4", help="Figure 4")
     fig4.add_argument("--duration", type=float, default=0.35,
                       help="seconds of simulated time per point")
+    add_jobs(fig4)
     fig4.set_defaults(runner=run_figure4)
 
     fig5 = sub.add_parser("figure5", help="Figure 5")
     fig5.add_argument("--duration", type=float, default=40.0)
     fig5.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3],
                       help="loss-process realizations to average")
+    add_jobs(fig5)
     fig5.set_defaults(runner=run_figure5)
 
     ablation = sub.add_parser("ablation", help="§5 ablations")
     ablation.add_argument("which", choices=sorted(_ABLATIONS))
+    add_jobs(ablation)
     ablation.set_defaults(runner=run_ablation)
 
     bench = sub.add_parser(
         "bench", help="simulator wall-clock benchmarks (host performance)"
     )
-    bench.add_argument("which", choices=["datapath"])
+    bench.add_argument("which", choices=["datapath", "scale"])
     bench.add_argument("--quick", action="store_true",
-                       help="small workloads (seconds, not minutes)")
+                       help="datapath: small workloads (seconds, not minutes)")
+    bench.add_argument("--smoke", action="store_true",
+                       help="scale: CI mode with small connection counts")
     bench.add_argument("--repeats", type=int, default=None,
-                       help="runs per config, best kept")
-    bench.add_argument("--out", default="BENCH_datapath.json",
-                       help="result JSON path ('' to skip writing)")
+                       help="datapath: runs per config, best kept")
+    bench.add_argument("--no-sweep", action="store_true",
+                       help="scale: skip the serial-vs-parallel sweep")
+    bench.add_argument("--out", default=None,
+                       help="result JSON path (default BENCH_<which>.json, "
+                            "'' to skip writing)")
+    add_jobs(bench)
     bench.set_defaults(runner=run_bench)
 
     trace = sub.add_parser(
@@ -293,6 +368,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="faults drawn into the random plan")
     chaos.add_argument("--duration", type=float, default=0.35,
                        help="seconds of simulated time")
+    chaos.add_argument("--fuzz", type=int, default=0, metavar="N",
+                       help="run a sweep of N seeded random fault plans "
+                            "(seeds derived from --seed); nonzero exit if "
+                            "any run crashes")
+    add_jobs(chaos)
     chaos.set_defaults(runner=run_chaos)
 
     sub.add_parser("all", help="regenerate everything").set_defaults(

@@ -15,7 +15,14 @@
   multi-queue ServiceLib fix).
 """
 
-from .chaos import ChaosResult, default_random_plan, run_chaos, run_chaos_smoke
+from .chaos import (
+    ChaosResult,
+    default_random_plan,
+    render_fuzz_sweep,
+    run_chaos,
+    run_chaos_fuzz,
+    run_chaos_smoke,
+)
 from .common import (
     ClusterTestbed,
     LanTestbed,
@@ -26,6 +33,7 @@ from .common import (
     make_wan_testbed,
 )
 from .bench_datapath import run_datapath_bench
+from .bench_scale import run_scale_bench
 from .figure4 import Figure4Result, run_figure4
 from .figure5 import Figure5Result, run_figure5
 from .microbench import MicrobenchResult, run_microbench
@@ -50,10 +58,13 @@ __all__ = [
     "ChaosResult",
     "default_random_plan",
     "run_chaos",
+    "run_chaos_fuzz",
     "run_chaos_smoke",
+    "render_fuzz_sweep",
     "Figure4Result",
     "run_figure4",
     "run_datapath_bench",
+    "run_scale_bench",
     "Figure5Result",
     "run_figure5",
     "Table1Result",

@@ -110,10 +110,24 @@ def run_connscale_ablation(
     duration: float = 0.3,
     warmup: float = 0.02,
     modes: Sequence[str] = ("native", "netkernel", "netkernel-4q"),
+    jobs: int = 1,
 ) -> ConnScaleResult:
-    """Native vs NetKernel (single and multi-queue) short-connection rates."""
-    rows = []
-    for mode in modes:
-        for clients in client_counts:
-            rows.append(_measure(mode, clients, duration, warmup))
+    """Native vs NetKernel (single and multi-queue) short-connection rates.
+
+    The (mode × clients) grid is the slowest part of the ablation suite;
+    ``jobs`` fans it across worker processes with bit-identical results.
+    """
+    from ..parallel import parallel_map
+
+    grid = [
+        (mode, clients, duration, warmup)
+        for mode in modes
+        for clients in client_counts
+    ]
+    rows = parallel_map(
+        _measure,
+        grid,
+        jobs=jobs,
+        keys=[f"connscale:{mode}:{clients}c" for mode, clients, _, _ in grid],
+    )
     return ConnScaleResult(rows=rows)

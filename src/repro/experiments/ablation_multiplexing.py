@@ -97,12 +97,15 @@ def _measure(shared: bool, tenants: int, duration: float, warmup: float) -> Mult
 
 
 def run_multiplexing_ablation(
-    tenants: int = 4, duration: float = 0.3, warmup: float = 0.08
+    tenants: int = 4, duration: float = 0.3, warmup: float = 0.08, jobs: int = 1
 ) -> MultiplexResult:
     """Dedicated vs shared placement for the same tenant population."""
-    return MultiplexResult(
-        rows=[
-            _measure(False, tenants, duration, warmup),
-            _measure(True, tenants, duration, warmup),
-        ]
+    from ..parallel import parallel_map
+
+    rows = parallel_map(
+        _measure,
+        [(False, tenants, duration, warmup), (True, tenants, duration, warmup)],
+        jobs=jobs,
+        keys=["multiplex:dedicated", "multiplex:shared"],
     )
+    return MultiplexResult(rows=rows)

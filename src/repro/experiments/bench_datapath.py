@@ -141,22 +141,34 @@ def _run_config(config: BenchConfig, quick: bool) -> Dict[str, object]:
     }
 
 
-def run_bench(quick: bool = False, repeats: Optional[int] = None) -> Dict[str, object]:
+def run_bench(
+    quick: bool = False, repeats: Optional[int] = None, jobs: int = 1
+) -> Dict[str, object]:
     """Run the full matrix; returns the BENCH_datapath.json payload.
 
     Each cell is run ``repeats`` times and the best (lowest) wall time
     kept; throughput values and event counts are identical across
     repeats (the simulation is deterministic), so only timing varies.
+    ``jobs`` fans the (config × repeat) cells across worker processes —
+    the measured values merge identically, but on a loaded or
+    few-core host the *wall times* of concurrent cells contend, so use
+    parallel mode for turnaround, serial mode for publishable timings.
     """
     if repeats is None:
         repeats = 2 if quick else 3
+    from ..parallel import parallel_map
+
+    cells = [(config, quick) for config in MATRIX for _ in range(repeats)]
+    outcomes = parallel_map(
+        _run_config,
+        cells,
+        jobs=jobs,
+        keys=[f"{config.key}#{i % repeats}" for i, (config, _) in enumerate(cells)],
+    )
     configs: Dict[str, Dict[str, object]] = {}
-    for config in MATRIX:
-        best: Optional[Dict[str, object]] = None
-        for _ in range(repeats):
-            result = _run_config(config, quick)
-            if best is None or result["wall_s"] < best["wall_s"]:
-                best = result
+    for index, config in enumerate(MATRIX):
+        runs = outcomes[index * repeats : (index + 1) * repeats]
+        best = min(runs, key=lambda run: run["wall_s"])
         best["best_of"] = repeats
         configs[config.key] = best
 

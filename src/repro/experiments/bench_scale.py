@@ -1,0 +1,469 @@
+"""Scale benchmark: how fast does the simulator run at large connection counts?
+
+Like :mod:`bench_datapath`, this measures *host-side* performance, not
+paper numbers — but in the many-connection regime that the NetKernel
+follow-up (arXiv:1903.07119) evaluates: thousands of mostly-idle
+connections with sparse, uncoordinated activity, plus short-connection
+churn.  Two workload families:
+
+* ``epoll_N`` — one epoll-driven sink serves N persistent connections;
+  every client sends a few small messages at staggered times, so each
+  ``epoll_wait`` wakeup services O(1) descriptors out of N registered.
+  This is the workload where a per-wait O(n_fds) readiness scan melts
+  the host CPU (the pre-PR tree) and an O(ready) ready-set does not.
+* ``churn_N`` — N closed-loop web clients (connect, request, response,
+  close) against one server, stressing connection setup/teardown:
+  listener spawn, conntable/fd churn, segment allocation, TIME_WAIT.
+
+Reported per point: wall seconds, simulator events, events per wall
+second, and workload progress (messages or requests).  The headline is
+``epoll_10000`` events/sec, anchored by two references:
+
+* :data:`PRE_PR_BASELINE` — the same workload measured on the tree just
+  before the large-N fast paths (O(ready) epoll, lookup/alloc fast
+  paths), committed so ``BENCH_scale.json`` always carries the speedup;
+* ``benchmarks/ref/BENCH_scale_ref.json`` — a smoke-mode reference used
+  by CI to fail on >25 % regressions (same gate as bench_datapath).
+
+A ``sweep`` section times ≥8 independent runs serially and through
+``repro.parallel`` with 4 workers, recording the wall-clock speedup
+(``host_cpus`` is recorded alongside: on a single-core runner the
+parallel sweep cannot beat serial, and the number says so honestly).
+
+Usage::
+
+    python -m repro bench scale [--smoke] [--jobs N] [--out BENCH_scale.json]
+    python benchmarks/bench_scale.py --smoke --check benchmarks/ref/BENCH_scale_ref.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import time
+from typing import Dict, List, Optional
+
+from ..api.epoll import Epoll
+from ..net import Endpoint
+from ..sim import Simulator
+
+__all__ = [
+    "PRE_PR_BASELINE",
+    "measure_epoll_point",
+    "measure_churn_point",
+    "run_bench",
+    "run_scale_bench",
+    "check_regression",
+    "render",
+    "main",
+]
+
+#: events/sec (and wall seconds) of the scale points measured on this
+#: tree immediately before the large-N fast paths (best of the runs on
+#: an idle single-core runner).  ``epoll_10000`` is the headline.
+PRE_PR_BASELINE: Dict[str, Dict[str, float]] = {
+    "epoll_100": {"wall_s": 0.838, "events_per_s": 712460.0},
+    "epoll_1000": {"wall_s": 9.692, "events_per_s": 523060.0},
+    "epoll_10000": {"wall_s": 1375.3, "events_per_s": 59464.0},
+    "churn_64": {"wall_s": 4.513, "events_per_s": 1086534.0},
+}
+
+#: CI regression gate (same shape as bench_datapath's).
+DEFAULT_TOLERANCE = 0.25
+
+#: Inter-message stagger: far apart enough that consecutive messages hit
+#: the sink in separate epoll wakeups (the sparse-activity regime).
+SEND_SPACING = 2e-6
+#: Connect-phase stagger per client (keeps SYN backlogs shallow).
+CONNECT_SPACING = 2e-6
+
+
+class _EpollSink:
+    """One epoll loop serving a listener plus every accepted connection."""
+
+    def __init__(self, sim: Simulator, api, port: int, read_size: int = 1 << 16):
+        self.sim = sim
+        self.api = api
+        self.port = port
+        self.read_size = read_size
+        self.bytes = 0
+        self.messages = 0
+        self.accepted = 0
+        self.process = sim.process(self._run(), name=f"epoll-sink:{port}")
+
+    def _run(self):
+        listen_fd = yield self.api.socket()
+        yield self.api.bind(listen_fd, self.port)
+        yield self.api.listen(listen_fd, backlog=512)
+        epoll = Epoll(self.sim, self.api)
+        epoll.register(listen_fd)
+        while True:
+            ready = yield epoll.wait()
+            for fd, _events in ready:
+                if fd == listen_fd:
+                    conn_fd = yield self.api.accept(listen_fd)
+                    epoll.register(conn_fd)
+                    self.accepted += 1
+                    continue
+                n = yield self.api.recv(fd, self.read_size)
+                if n == 0:
+                    epoll.unregister(fd)
+                    yield self.api.close(fd)
+                    continue
+                self.bytes += n
+                self.messages += 1
+
+
+class _ScheduledSender:
+    """Connects once, then sends fixed-size messages at absolute times."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        api,
+        remote: Endpoint,
+        connect_at: float,
+        send_times: List[float],
+        message_bytes: int,
+    ):
+        self.sim = sim
+        self.api = api
+        self.remote = remote
+        self.connect_at = connect_at
+        self.send_times = send_times
+        self.message_bytes = message_bytes
+        self.sent = 0
+        self.process = sim.process(self._run(), name=f"sender:{remote.port}")
+
+    def _run(self):
+        if self.connect_at > 0:
+            yield self.sim.timeout(self.connect_at)
+        fd = yield self.api.socket()
+        yield self.api.connect(fd, self.remote)
+        for at in self.send_times:
+            delay = at - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            yield self.api.send(fd, self.message_bytes)
+            self.sent += 1
+
+
+def measure_epoll_point(
+    n_conns: int,
+    messages_per_conn: int = 2,
+    message_bytes: int = 512,
+) -> Dict[str, object]:
+    """N persistent connections into one epoll sink, sparse sends.
+
+    Message ``m`` of client ``i`` lands at ``T0 + (m * N + i) * spacing``
+    — every delivery is its own epoll wakeup with O(1) ready fds, which
+    is exactly where a per-wait O(n_fds) scan goes quadratic.
+    """
+    from .common import make_lan_testbed
+
+    testbed = make_lan_testbed()
+    sim = testbed.sim
+    server_vm = testbed.hypervisor_b.boot_legacy_vm("server", vcpus=4)
+    client_vm = testbed.hypervisor_a.boot_legacy_vm("clients", vcpus=4)
+
+    sink = _EpollSink(sim, server_vm.api, port=5000)
+    connect_phase = n_conns * CONNECT_SPACING + 0.005
+    senders = []
+    for i in range(n_conns):
+        send_times = [
+            connect_phase + (m * n_conns + i) * SEND_SPACING
+            for m in range(messages_per_conn)
+        ]
+        senders.append(
+            _ScheduledSender(
+                sim,
+                client_vm.api,
+                Endpoint(server_vm.api.ip, 5000),
+                connect_at=i * CONNECT_SPACING,
+                send_times=send_times,
+                message_bytes=message_bytes,
+            )
+        )
+    duration = connect_phase + (messages_per_conn * n_conns) * SEND_SPACING + 0.005
+
+    started = time.perf_counter()
+    sim.run(until=duration)
+    wall = time.perf_counter() - started
+    expected = n_conns * messages_per_conn
+    return {
+        "workload": "epoll",
+        "connections": n_conns,
+        "wall_s": wall,
+        "events": sim.events_processed,
+        "events_per_s": sim.events_processed / wall if wall > 0 else 0.0,
+        "messages_delivered": sink.messages,
+        "messages_expected": expected,
+        "bytes_delivered": sink.bytes,
+        "sim_seconds": duration,
+    }
+
+
+def measure_churn_point(
+    n_clients: int,
+    duration: float = 0.1,
+) -> Dict[str, object]:
+    """Short-connection churn: N closed-loop web clients, native stacks."""
+    from ..apps import WebClient, WebServer
+    from .common import make_lan_testbed
+
+    testbed = make_lan_testbed()
+    sim = testbed.sim
+    server_vm = testbed.hypervisor_b.boot_legacy_vm("server", vcpus=4)
+    client_vm = testbed.hypervisor_a.boot_legacy_vm("clients", vcpus=4)
+
+    WebServer(sim, server_vm.api, port=80)
+    clients = [
+        WebClient(
+            sim,
+            client_vm.api,
+            Endpoint(server_vm.api.ip, 80),
+            start_delay=0.001 + 0.0005 * index,
+        )
+        for index in range(n_clients)
+    ]
+    started = time.perf_counter()
+    sim.run(until=duration)
+    wall = time.perf_counter() - started
+    completed = sum(c.completed for c in clients)
+    return {
+        "workload": "churn",
+        "connections": n_clients,
+        "wall_s": wall,
+        "events": sim.events_processed,
+        "events_per_s": sim.events_processed / wall if wall > 0 else 0.0,
+        "requests_completed": completed,
+        "sim_seconds": duration,
+    }
+
+
+#: (key, kind, size) — full-mode matrix; smoke mode trims to the cheap rows.
+FULL_POINTS = [
+    ("epoll_100", "epoll", 100),
+    ("epoll_1000", "epoll", 1000),
+    ("epoll_10000", "epoll", 10000),
+    ("churn_64", "churn", 64),
+]
+SMOKE_POINTS = [
+    ("epoll_100", "epoll", 100),
+    ("epoll_500", "epoll", 500),
+    ("churn_16", "churn", 16),
+]
+
+#: The sweep: ≥8 independent runs, serial vs 4 workers.
+SWEEP_RUNS = 8
+SWEEP_JOBS = 4
+
+
+def _run_point(kind: str, size: int) -> Dict[str, object]:
+    if kind == "epoll":
+        return measure_epoll_point(size)
+    return measure_churn_point(size)
+
+
+def _sweep_task(size: int) -> Dict[str, object]:
+    """One unit of the serial-vs-parallel sweep (module-level: picklable)."""
+    return measure_epoll_point(size, messages_per_conn=2)
+
+
+def run_sweep(
+    runs: int = SWEEP_RUNS,
+    jobs: int = SWEEP_JOBS,
+    size: int = 400,
+) -> Dict[str, object]:
+    """Time ``runs`` independent simulations serially, then with ``jobs``."""
+    from ..parallel import ParallelRunner, RunSpec
+
+    tasks = [
+        RunSpec(key=f"sweep_{index}", fn=_sweep_task, args=(size,))
+        for index in range(runs)
+    ]
+    serial_started = time.perf_counter()
+    serial = ParallelRunner(jobs=1).run(tasks)
+    serial_wall = time.perf_counter() - serial_started
+
+    parallel_started = time.perf_counter()
+    parallel = ParallelRunner(jobs=jobs).run(tasks)
+    parallel_wall = time.perf_counter() - parallel_started
+
+    # The parallel merge must be bit-identical to the serial one.
+    mismatches = sum(
+        1
+        for s, p in zip(serial, parallel)
+        if s.error is None
+        and p.error is None
+        and {k: v for k, v in s.value.items() if k != "wall_s"}
+        != {k: v for k, v in p.value.items() if k != "wall_s"}
+    )
+    return {
+        "runs": runs,
+        "jobs": jobs,
+        "point_connections": size,
+        "serial_wall_s": serial_wall,
+        "parallel_wall_s": parallel_wall,
+        "speedup": serial_wall / parallel_wall if parallel_wall > 0 else None,
+        "failures": sum(1 for r in serial + parallel if r.error is not None),
+        "result_mismatches": mismatches,
+    }
+
+
+def run_bench(
+    smoke: bool = False,
+    jobs: Optional[int] = None,
+    sweep: bool = True,
+) -> Dict[str, object]:
+    """Run the scale matrix (and the sweep); returns the JSON payload.
+
+    ``jobs`` fans the matrix points themselves through the parallel
+    runner (wall-clock numbers then overlap; events and workload progress
+    stay bit-identical to serial).
+    """
+    points = SMOKE_POINTS if smoke else FULL_POINTS
+    results: Dict[str, Dict[str, object]] = {}
+    if jobs is not None and jobs > 1:
+        from ..parallel import ParallelRunner, RunSpec
+
+        tasks = [
+            RunSpec(key=key, fn=_run_point, args=(kind, size))
+            for key, kind, size in points
+        ]
+        for spec, outcome in zip(points, ParallelRunner(jobs=jobs).run(tasks)):
+            if outcome.error is not None:
+                raise RuntimeError(f"scale point {spec[0]} failed: {outcome.error}")
+            results[spec[0]] = outcome.value
+    else:
+        for key, kind, size in points:
+            results[key] = _run_point(kind, size)
+
+    headline_key = "epoll_500" if smoke else "epoll_10000"
+    payload: Dict[str, object] = {
+        "benchmark": "scale",
+        "smoke": smoke,
+        "host_cpus": os.cpu_count(),
+        "headline": headline_key,
+        "headline_events_per_s": results[headline_key]["events_per_s"],
+        "pre_pr_baseline": PRE_PR_BASELINE,
+        "points": results,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+    baseline = PRE_PR_BASELINE.get(headline_key)
+    if baseline:
+        payload["speedup_vs_pre_pr_events_per_s"] = (
+            results[headline_key]["events_per_s"] / baseline["events_per_s"]
+        )
+        payload["speedup_vs_pre_pr_wall"] = (
+            baseline["wall_s"] / results[headline_key]["wall_s"]
+        )
+    if sweep:
+        payload["sweep"] = run_sweep(
+            runs=SWEEP_RUNS, jobs=SWEEP_JOBS, size=100 if smoke else 400
+        )
+    return payload
+
+
+#: Package-level alias (``repro.experiments.run_scale_bench``).
+run_scale_bench = run_bench
+
+
+def check_regression(
+    result: Dict[str, object],
+    reference: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Optional[str]:
+    """Fail when the headline point's events/sec regresses past tolerance."""
+    if bool(result.get("smoke")) != bool(reference.get("smoke")):
+        return (
+            "reference/result shape mismatch: "
+            f"smoke={reference.get('smoke')} vs {result.get('smoke')}"
+        )
+    key = reference.get("headline", "epoll_10000")
+    ref_rate = reference["points"][key]["events_per_s"]
+    rate = result["points"].get(key, {}).get("events_per_s")
+    if rate is None:
+        return f"result is missing headline point {key}"
+    if rate < ref_rate * (1.0 - tolerance):
+        return (
+            f"scale regression: {key} ran at {rate:.0f} events/s, "
+            f"less than {(1.0 - tolerance):.2f}x the committed reference "
+            f"{ref_rate:.0f} events/s"
+        )
+    return None
+
+
+def render(result: Dict[str, object]) -> str:
+    """Human-readable table of a :func:`run_bench` payload."""
+    lines = [
+        "Scale benchmark (simulator performance at large connection counts)",
+        f"{'point':>14} {'conns':>6} {'wall s':>9} {'events':>10} "
+        f"{'events/s':>10} {'progress':>12}",
+    ]
+    for key, row in result["points"].items():
+        progress = (
+            f"{row['messages_delivered']}/{row['messages_expected']} msg"
+            if "messages_delivered" in row
+            else f"{row['requests_completed']} req"
+        )
+        lines.append(
+            f"{key:>14} {row['connections']:>6} {row['wall_s']:>9.3f} "
+            f"{row['events']:>10} {row['events_per_s']:>10.0f} {progress:>12}"
+        )
+    headline = result["headline"]
+    if "speedup_vs_pre_pr_events_per_s" in result:
+        lines.append(
+            f"headline {headline}: "
+            f"{result['headline_events_per_s']:.0f} events/s, "
+            f"{result['speedup_vs_pre_pr_events_per_s']:.2f}x the pre-PR "
+            f"events/s ({result['speedup_vs_pre_pr_wall']:.2f}x wall)"
+        )
+    sweep = result.get("sweep")
+    if sweep:
+        speedup = sweep["speedup"]
+        lines.append(
+            f"sweep: {sweep['runs']} runs x {sweep['point_connections']} conns, "
+            f"serial {sweep['serial_wall_s']:.2f}s vs "
+            f"--jobs {sweep['jobs']} {sweep['parallel_wall_s']:.2f}s "
+            f"-> {speedup:.2f}x on {result['host_cpus']} host cpu(s); "
+            f"{sweep['result_mismatches']} result mismatch(es)"
+        )
+    lines.append(f"peak RSS {result['peak_rss_kb']} KB")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: small points (~seconds, not minutes)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="fan matrix points across N worker processes")
+    parser.add_argument("--no-sweep", action="store_true",
+                        help="skip the serial-vs-parallel sweep section")
+    parser.add_argument("--out", default="BENCH_scale.json",
+                        help="result JSON path")
+    parser.add_argument("--check", default=None, metavar="REF_JSON",
+                        help="fail (exit 1) if the headline point regresses "
+                        ">25%% events/s vs this committed reference")
+    args = parser.parse_args(argv)
+
+    result = run_bench(smoke=args.smoke, jobs=args.jobs, sweep=not args.no_sweep)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(render(result))
+    print(f"results -> {args.out}")
+
+    if args.check is not None:
+        with open(args.check) as fh:
+            reference = json.load(fh)
+        failure = check_regression(result, reference)
+        if failure is not None:
+            print(f"FAIL: {failure}")
+            return 1
+        print(f"regression check OK vs {args.check}")
+    return 0

@@ -48,6 +48,8 @@ __all__ = [
     "ChaosResult",
     "default_random_plan",
     "run_chaos",
+    "run_chaos_fuzz",
+    "render_fuzz_sweep",
 ]
 
 #: Chaos-mode fault-tolerance defaults (simulated seconds).  The op
@@ -427,6 +429,71 @@ def run_chaos(
         unrecovered=sum(1 for f in flow_stats if not f.recovered),
         flows=flow_stats,
     )
+
+
+def _fuzz_run(
+    seed: int, flows: int, duration: float, warmup: float, faults: int
+) -> ChaosResult:
+    """One fuzz iteration (module-level so worker processes can pickle it)."""
+    plan = default_random_plan(seed, duration=duration, warmup=warmup, faults=faults)
+    return run_chaos(plan, flows=flows, duration=duration, warmup=warmup)
+
+
+def run_chaos_fuzz(
+    count: int = 8,
+    base_seed: int = 7,
+    flows: int = 2,
+    duration: float = 0.2,
+    warmup: float = 0.0,
+    faults: int = 5,
+    jobs: int = 1,
+    progress=None,
+):
+    """A sweep of seeded random fault plans; returns ``List[RunResult]``.
+
+    Per-run seeds derive from ``base_seed`` via
+    :func:`repro.parallel.derive_seed`, so the sweep is reproducible and
+    ``jobs=N`` is run-for-run bit-identical to ``jobs=1``.  A run that
+    crashes (worker death included) occupies its slot as a typed
+    :class:`~repro.parallel.RunFailure` without stopping the sweep.
+    """
+    from ..parallel import ParallelRunner, RunSpec, derive_seed
+
+    specs = [
+        RunSpec(
+            key=f"chaos-fuzz:{derive_seed(base_seed, index)}",
+            fn=_fuzz_run,
+            args=(derive_seed(base_seed, index), flows, duration, warmup, faults),
+        )
+        for index in range(count)
+    ]
+    return ParallelRunner(jobs=jobs, progress=progress).run(specs)
+
+
+def render_fuzz_sweep(outcomes) -> str:
+    """Human-readable table of a :func:`run_chaos_fuzz` sweep."""
+    lines = [
+        f"chaos fuzz sweep: {len(outcomes)} run(s)",
+        f"{'run':>24} {'goodput':>9} {'faults':>7} {'errors':>7} "
+        f"{'timeouts':>9} {'unrecovered':>12}",
+    ]
+    failures = 0
+    for outcome in outcomes:
+        if outcome.error is not None:
+            failures += 1
+            lines.append(f"{outcome.key:>24} FAILED — {outcome.error}")
+            continue
+        result = outcome.value
+        lines.append(
+            f"{outcome.key:>24} {result.goodput_gbps:>5.2f} Gbps "
+            f"{result.plan_faults:>7} {result.errors:>7} "
+            f"{result.op_timeouts:>9} {result.unrecovered:>12}"
+        )
+    lines.append(
+        f"{sum(1 for o in outcomes if o.error is None)}/{len(outcomes)} runs ok"
+        + (f", {failures} FAILED" if failures else "")
+    )
+    return "\n".join(lines)
 
 
 def run_chaos_smoke(seed: int = 7, flows: int = 2) -> ChaosResult:

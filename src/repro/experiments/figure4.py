@@ -125,15 +125,36 @@ def remote_for(vm, port: int):
     return Endpoint(vm.api.ip, port)
 
 
+def _measure_point(mode: str, flows: int, duration: float, warmup: float) -> float:
+    return measure_lan_throughput(mode, flows, duration=duration, warmup=warmup)
+
+
 def run_figure4(
     flow_counts: Sequence[int] = (1, 2, 3),
     duration: float = 0.35,
     warmup: float = 0.1,
+    jobs: int = 1,
 ) -> Figure4Result:
-    """Regenerate Figure 4: one row per flow count."""
+    """Regenerate Figure 4: one row per flow count.
+
+    ``jobs`` fans the (mode × flows) grid across worker processes; the
+    merged result is bit-identical to the serial run.
+    """
+    from ..parallel import parallel_map
+
+    grid = [
+        (mode, flows, duration, warmup)
+        for flows in flow_counts
+        for mode in ("native", "netkernel")
+    ]
+    values = parallel_map(
+        _measure_point,
+        grid,
+        jobs=jobs,
+        keys=[f"fig4:{mode}:{flows}f" for mode, flows, _, _ in grid],
+    )
     rows = []
-    for flows in flow_counts:
-        native = measure_lan_throughput("native", flows, duration=duration, warmup=warmup)
-        nsm = measure_lan_throughput("netkernel", flows, duration=duration, warmup=warmup)
+    for index, flows in enumerate(flow_counts):
+        native, nsm = values[2 * index], values[2 * index + 1]
         rows.append(Figure4Row(flows=flows, native_gbps=native, nsm_gbps=nsm))
     return Figure4Result(rows=rows)

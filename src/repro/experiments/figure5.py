@@ -118,25 +118,48 @@ def measure_wan_throughput(
     return receiver.meter.bps(until=duration) / 1e6
 
 
+def _measure_sample(
+    mode: str, guest_os: GuestOS, cc: str, duration: float, warmup: float, seed: int
+) -> float:
+    return measure_wan_throughput(
+        mode, guest_os, cc, duration=duration, warmup=warmup, seed=seed
+    )
+
+
 def run_figure5(
     duration: float = 40.0,
     warmup: float = 5.0,
     seeds: tuple = (1, 2, 3),
+    jobs: int = 1,
 ) -> Figure5Result:
     """Regenerate Figure 5: all four sender configurations, same path.
 
     Averaged over ``seeds`` loss-process realizations — the episodic loss
     is bursty enough that a single 40 s window is noisy, exactly like a
     single 10 s sample of the live Internet was for the authors.
+    ``jobs`` fans the (config × seed) grid across worker processes;
+    the merged result is bit-identical to the serial run.
     """
-    rows = []
-    for label, mode, guest_os, cc in CONFIGS:
-        samples = [
-            measure_wan_throughput(
-                mode, guest_os, cc, duration=duration, warmup=warmup, seed=seed
-            )
+    from ..parallel import parallel_map
+
+    grid = [
+        (mode, guest_os, cc, duration, warmup, seed)
+        for _label, mode, guest_os, cc in CONFIGS
+        for seed in seeds
+    ]
+    values = parallel_map(
+        _measure_sample,
+        grid,
+        jobs=jobs,
+        keys=[
+            f"fig5:{label}:seed{seed}"
+            for label, _m, _g, _c in CONFIGS
             for seed in seeds
-        ]
+        ],
+    )
+    rows = []
+    for index, (label, _mode, _guest_os, _cc) in enumerate(CONFIGS):
+        samples = values[index * len(seeds) : (index + 1) * len(seeds)]
         mbps = sum(samples) / len(samples)
         rows.append(Figure5Row(label=label, mbps=mbps, paper_mbps=PAPER_MBPS[label]))
     return Figure5Result(rows=rows)

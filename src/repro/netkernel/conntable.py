@@ -7,7 +7,7 @@ and cIDs on behalf of NSMs.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 __all__ = ["ConnectionTable"]
 
@@ -16,13 +16,23 @@ NsmKey = Tuple[int, int]  # (nsm_id, cid)
 
 
 class ConnectionTable:
-    """Bidirectional <VM ID, fd> <-> <NSM ID, cID> map with ID allocation."""
+    """Bidirectional <VM ID, fd> <-> <NSM ID, cID> map with ID allocation.
+
+    Per-VM and per-NSM membership indexes keep ``connections_of_*`` (and
+    therefore NSM failover eviction) O(own connections) instead of
+    scanning the whole table — the table is shared by every tenant on
+    the host, so at 10k+ connections a full scan per eviction hurts.
+    """
 
     def __init__(self) -> None:
         self._vm_to_nsm: Dict[VmKey, NsmKey] = {}
         self._nsm_to_vm: Dict[NsmKey, VmKey] = {}
         self._next_fd: Dict[int, int] = {}
         self._next_cid: Dict[int, int] = {}
+        # Insertion-ordered membership (dict-as-ordered-set), so eviction
+        # notification order is identical to the old full-table scan.
+        self._by_vm: Dict[int, Dict[VmKey, None]] = {}
+        self._by_nsm: Dict[int, Dict[NsmKey, None]] = {}
 
     def __len__(self) -> int:
         return len(self._vm_to_nsm)
@@ -48,6 +58,8 @@ class ConnectionTable:
             raise KeyError(f"duplicate mapping for NSM{nsm_id} cid{cid}")
         self._vm_to_nsm[vm_key] = nsm_key
         self._nsm_to_vm[nsm_key] = vm_key
+        self._by_vm.setdefault(vm_id, {})[vm_key] = None
+        self._by_nsm.setdefault(nsm_id, {})[nsm_key] = None
 
     def to_nsm(self, vm_id: int, fd: int) -> Optional[NsmKey]:
         return self._vm_to_nsm.get((vm_id, fd))
@@ -56,14 +68,26 @@ class ConnectionTable:
         return self._nsm_to_vm.get((nsm_id, cid))
 
     def remove_by_vm(self, vm_id: int, fd: int) -> None:
-        nsm_key = self._vm_to_nsm.pop((vm_id, fd), None)
+        vm_key = (vm_id, fd)
+        nsm_key = self._vm_to_nsm.pop(vm_key, None)
         if nsm_key is not None:
             self._nsm_to_vm.pop(nsm_key, None)
+            self._unindex(vm_key, nsm_key)
 
     def remove_by_nsm(self, nsm_id: int, cid: int) -> None:
-        vm_key = self._nsm_to_vm.pop((nsm_id, cid), None)
+        nsm_key = (nsm_id, cid)
+        vm_key = self._nsm_to_vm.pop(nsm_key, None)
         if vm_key is not None:
             self._vm_to_nsm.pop(vm_key, None)
+            self._unindex(vm_key, nsm_key)
+
+    def _unindex(self, vm_key: VmKey, nsm_key: NsmKey) -> None:
+        members = self._by_vm.get(vm_key[0])
+        if members is not None:
+            members.pop(vm_key, None)
+        members = self._by_nsm.get(nsm_key[0])
+        if members is not None:
+            members.pop(nsm_key, None)
 
     def evict_nsm(self, nsm_id: int) -> list[Tuple[VmKey, NsmKey]]:
         """Drop every mapping served by ``nsm_id`` (NSM failover).
@@ -75,11 +99,12 @@ class ConnectionTable:
         for nsm_key in self.connections_of_nsm(nsm_id):
             vm_key = self._nsm_to_vm.pop(nsm_key)
             self._vm_to_nsm.pop(vm_key, None)
+            self._unindex(vm_key, nsm_key)
             pairs.append((vm_key, nsm_key))
         return pairs
 
     def connections_of_vm(self, vm_id: int) -> list[VmKey]:
-        return [key for key in self._vm_to_nsm if key[0] == vm_id]
+        return list(self._by_vm.get(vm_id, ()))
 
     def connections_of_nsm(self, nsm_id: int) -> list[NsmKey]:
-        return [key for key in self._nsm_to_vm if key[0] == nsm_id]
+        return list(self._by_nsm.get(nsm_id, ()))

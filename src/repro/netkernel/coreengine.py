@@ -263,15 +263,17 @@ class CoreEngine:
         """Backpressure path: block the mover until ``ring`` accepts."""
         yield ring.push(nqe)
 
-    def _begin_switch(self, nqe: Nqe, direction: str, cpu_ns: Optional[float] = None):
+    def _begin_switch(self, nqe: Nqe, op: str, cpu_ns: Optional[float] = None):
         """Open the per-nqe switch span (pop -> forwarded push accepted).
 
         Callers guard on ``self.tracer.enabled`` so the disabled datapath
-        pays one attribute check per nqe instead of two calls.
+        pays one attribute check per nqe instead of two calls, and pass
+        the preformatted ``coreengine.switch.<direction>`` op name — one
+        f-string per nqe in the drain loops is measurable.
         """
         span = None
         if nqe.span is not None:
-            span = nqe.span.child(f"coreengine.switch.{direction}", "coreengine")
+            span = nqe.span.child(op, "coreengine")
             if span is not None:
                 span.cpu(cpu_ns if cpu_ns is not None else self.config.nqe_copy_ns)
         return self.sim.now, span
@@ -417,6 +419,7 @@ class CoreEngine:
         execute = self.core.execute
         wait_nonempty = ring.wait_nonempty
         pop_batch = ring.pop_batch
+        switch_op = "coreengine.switch." + direction
         while True:
             yield wait_nonempty()
             if interrupt:
@@ -424,7 +427,7 @@ class CoreEngine:
                 yield execute(INTERRUPT_COST_NS * NANOS)
             for nqe in pop_batch():
                 if self._traced:
-                    started, span = self._begin_switch(nqe, direction)
+                    started, span = self._begin_switch(nqe, switch_op)
                 else:
                     started = span = None
                 try:
@@ -453,6 +456,7 @@ class CoreEngine:
         execute = self.core.execute
         wait_nonempty = ring.wait_nonempty
         pop_batch = ring.pop_batch
+        switch_op = "coreengine.switch." + direction
         while True:
             yield wait_nonempty()
             if interrupt:
@@ -466,7 +470,7 @@ class CoreEngine:
             yield execute(per_batch + n * per_nqe)
             for nqe in batch:
                 if self._traced:
-                    started, span = self._begin_switch(nqe, direction, per_nqe_ns)
+                    started, span = self._begin_switch(nqe, switch_op, per_nqe_ns)
                 else:
                     started = span = None
                 try:
@@ -489,13 +493,14 @@ class CoreEngine:
             loop = self._mover_batched if self.config.batching else self._mover
             self.sim.process(loop(ring, direction, switch_nqe), name=name)
             return
+        switch_op = "coreengine.switch." + direction
         if self.config.batching:
             policy = self.config.coreengine_batch()
             per_nqe_ns = policy.per_nqe_ns
             if self._traced:
 
                 def handle(nqe):
-                    started, span = self._begin_switch(nqe, direction, per_nqe_ns)
+                    started, span = self._begin_switch(nqe, switch_op, per_nqe_ns)
                     blocked = switch_nqe(nqe)
                     if blocked is None:
                         self._end_switch(started, span)
@@ -522,7 +527,7 @@ class CoreEngine:
 
             def pre(nqe):
                 self.nqes_copied += 1
-                return self._begin_switch(nqe, direction)
+                return self._begin_switch(nqe, switch_op)
 
             def post(token):
                 self._end_switch(token[0], token[1])
@@ -588,6 +593,13 @@ class CoreEngine:
         tracer = self.tracer
         if self._traced:
             tracer.count("coreengine.nsm_failures")
+        # Fence the declared-dead NSM wholesale (idempotent).  A genuinely
+        # crashed NSM is already silent, but a *false positive* — alive,
+        # merely late past the heartbeat budget — still has a running TCP
+        # stack with pending timers; once the standby takes over its IP
+        # and its NIC is detached, those timers must not keep talking on
+        # the network.  Declared dead means dead.
+        nsm.crash()
         queues = self._nsms.get(nsm_id)
         if queues is not None:
             queues.servicelib.crash()

@@ -23,6 +23,7 @@ from ..api.errors import (
     InvalidSocketState,
     OperationTimedOut,
     SocketError,
+    wrap_transport_error,
 )
 from ..api.socket_api import SocketApi
 from ..host.cpu import Core
@@ -461,7 +462,7 @@ class GuestLib(SocketApi):
             error = nqe.result
             if not isinstance(error, BaseException):
                 error = SocketError(str(error))
-            event.fail(error)
+            event.fail(wrap_transport_error(error))
 
     def _start_receive_pump(self) -> None:
         """Polling-mode receive consumer as an event-driven pump.

@@ -68,6 +68,16 @@ class NqeRing:
         self.kind = name.rsplit(".", 1)[-1]
         self.tracer = obs_runtime.get_tracer()
         self._traced = self.tracer.enabled
+        # Traced-path names, formatted once: pushes/pops are the hottest
+        # instrumented sites in a run, and an f-string per nqe is pure
+        # allocator churn in the drain loops.  The wait-latency histogram
+        # object is cached on first pop for the same reason.
+        self._ctr_pushed = f"queue.{self.kind}.pushed"
+        self._ctr_popped = f"queue.{self.kind}.popped"
+        self._ctr_full = f"queue.{self.kind}.full_waits"
+        self._hwm_name = f"queue.hwm.{self.name}"
+        self._wait_span_op = f"queue.{self.kind}.wait"
+        self._wait_hist = None
         self._items: Deque[Nqe] = deque()
         self._putters: Deque[Tuple[Event, Nqe]] = deque()
         self._doorbells: List[Event] = []
@@ -105,7 +115,7 @@ class NqeRing:
             event.succeed()
         else:
             if self._traced:
-                self.tracer.count(f"queue.{self.kind}.full_waits")
+                self.tracer.count(self._ctr_full)
             entry = (event, nqe)
             self._putters.append(entry)
             if timeout is not None:
@@ -145,7 +155,7 @@ class NqeRing:
             self._accept(nqe)
         else:
             if self._traced:
-                self.tracer.count(f"queue.{self.kind}.full_waits")
+                self.tracer.count(self._ctr_full)
             self._putters.append((None, nqe))
 
     def _accept(self, nqe: Nqe) -> None:
@@ -158,8 +168,8 @@ class NqeRing:
         if self._traced:
             tracer = self.tracer
             nqe.enqueued_at = self.sim.now
-            tracer.count(f"queue.{self.kind}.pushed")
-            tracer.high_water(f"queue.hwm.{self.name}", count)
+            tracer.count(self._ctr_pushed)
+            tracer.high_water(self._hwm_name, count)
         if self._doorbells:
             doorbells, self._doorbells = self._doorbells, []
             for doorbell in doorbells:
@@ -208,16 +218,17 @@ class NqeRing:
     def _record_pop(self, nqe: Nqe) -> None:
         """Observability at dequeue: ring-wait latency and residency span."""
         tracer = self.tracer
-        tracer.count(f"queue.{self.kind}.popped")
+        tracer.count(self._ctr_popped)
         if nqe.enqueued_at is None:
             return
         now = self.sim.now
-        tracer.histogram(f"queue.wait_ns.{self.kind}").record(
-            (now - nqe.enqueued_at) * 1e9
-        )
+        hist = self._wait_hist
+        if hist is None:
+            hist = self._wait_hist = tracer.histogram(f"queue.wait_ns.{self.kind}")
+        hist.record((now - nqe.enqueued_at) * 1e9)
         if nqe.span is not None:
             tracer.record_span(
-                f"queue.{self.kind}.wait",
+                self._wait_span_op,
                 "queue",
                 start=nqe.enqueued_at,
                 finish=now,
@@ -467,7 +478,23 @@ class BatchRingPump:
         if self.stopped:
             self.idle = True
             return
-        batch = self.ring.pop_batch(self.burst)
+        ring = self.ring
+        if ring._count == 1:
+            # Bursts of one dominate latency-bound workloads (each offer
+            # notifies the pump before the next lands); skip the batch
+            # list for them.  The charge is the same per_batch + per_nqe.
+            nqe = ring.try_pop()
+            if nqe is None:
+                self.idle = True
+                return
+            pre = self.pre_batch
+            if pre is not None:
+                pre(1)
+            timeout = self.core.execute(self.per_batch + self.per_nqe)
+            timeout._call = self._charged_one
+            timeout._call_args = (nqe,)
+            return
+        batch = ring.pop_batch(self.burst)
         n = len(batch)
         if n == 0:
             self.idle = True
@@ -478,6 +505,13 @@ class BatchRingPump:
         timeout = self.core.execute(self.per_batch + n * self.per_nqe)
         timeout._call = self._charged
         timeout._call_args = (batch,)
+
+    def _charged_one(self, nqe) -> None:
+        blocked = self.handle(nqe)
+        if blocked is not None:
+            self.ring.sim.process(self._drain(blocked, (), 0))
+            return
+        self._next()
 
     def _charged(self, batch) -> None:
         handle = self.handle

@@ -1,0 +1,19 @@
+"""Deterministic scale-out execution of independent simulation runs."""
+
+from .runner import (
+    ParallelRunner,
+    RunFailure,
+    RunResult,
+    RunSpec,
+    derive_seed,
+    parallel_map,
+)
+
+__all__ = [
+    "ParallelRunner",
+    "RunFailure",
+    "RunResult",
+    "RunSpec",
+    "derive_seed",
+    "parallel_map",
+]

@@ -1,0 +1,256 @@
+"""Deterministic multiprocessing executor for independent simulation runs.
+
+Every experiment in this repository is a pure function of its arguments:
+it builds a fresh :class:`~repro.sim.Simulator`, runs it, and returns
+plain data.  That makes sweeps (figure points, ablation grids, chaos fuzz
+seeds, bench repetitions) embarrassingly parallel — *if* the execution
+layer preserves two properties the test suite enforces:
+
+* **Bit-identity** — ``jobs=N`` merges to exactly what ``jobs=1``
+  produces for the same specs.  Each run builds its own simulator, and
+  every run (inline or in a worker) starts from
+  :func:`repro.runstate.reset_run_ids`, so a run is a pure function of
+  its spec rather than of process history — module-global id counters
+  (NSM ids, packet ids, nqe tokens) would otherwise drift apart between
+  the serial and forked schedules.
+* **Failure isolation** — one run raising (or its worker dying outright)
+  yields a typed :class:`RunFailure` in that run's slot; the rest of the
+  sweep completes.
+
+Each run gets its own worker process (processes are recycled per run,
+not pooled), so a hard crash — ``os._exit``, a segfault in an extension,
+the OOM killer — is attributable to exactly one run and cannot poison a
+shared pool.  Fork cost is microscopic next to any simulation run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "RunSpec",
+    "RunFailure",
+    "RunResult",
+    "ParallelRunner",
+    "derive_seed",
+    "parallel_map",
+]
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Derive run ``index``'s seed from a sweep's base seed.
+
+    Deterministic, collision-free for any realistic sweep width, and
+    *not* simply ``base + index`` so that neighbouring sweeps (base 7 and
+    base 8) do not share almost all of their runs.
+    """
+    return (base_seed * 1_000_003 + index * 7_919) % (2**31 - 1)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One unit of work: ``fn(*args, **kwargs)`` in a worker.
+
+    ``fn`` must be picklable by reference (a module-level callable) so
+    spawn-based platforms work too; forked workers don't care.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """Typed description of why a run produced no value."""
+
+    kind: str  # exception class name, or "worker-crashed"
+    message: str
+    traceback: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.message}"
+
+
+@dataclass
+class RunResult:
+    """Outcome slot for one :class:`RunSpec`, in spec order."""
+
+    key: str
+    value: Any = None
+    error: Optional[RunFailure] = None
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+ProgressFn = Callable[[int, int, RunResult], None]
+
+
+def _worker_main(conn, fn, args, kwargs) -> None:
+    from ..runstate import reset_run_ids
+
+    reset_run_ids()
+    started = time.perf_counter()
+    try:
+        value = fn(*args, **kwargs)
+        payload = ("ok", value, time.perf_counter() - started)
+    except BaseException as exc:  # noqa: BLE001 — isolation is the point
+        payload = (
+            "err",
+            RunFailure(type(exc).__name__, str(exc), traceback.format_exc()),
+            time.perf_counter() - started,
+        )
+    try:
+        conn.send(payload)
+    except Exception as exc:  # unpicklable result: report, don't die silent
+        conn.send(
+            (
+                "err",
+                RunFailure(type(exc).__name__, f"result not sendable: {exc}"),
+                time.perf_counter() - started,
+            )
+        )
+    finally:
+        conn.close()
+
+
+class ParallelRunner:
+    """Fan :class:`RunSpec`\\ s across worker processes, merge in order."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        progress: Optional[ProgressFn] = None,
+        context: Optional[str] = None,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.progress = progress
+        if context is None:
+            methods = multiprocessing.get_all_start_methods()
+            context = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(context)
+
+    # -- public ---------------------------------------------------------------
+    def run(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        """Execute every spec; results align 1:1 with ``specs``."""
+        if self.jobs == 1:
+            return self._run_inline(specs)
+        return self._run_forked(specs)
+
+    # -- inline (the reference semantics) --------------------------------------
+    def _run_inline(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        from ..runstate import reset_run_ids
+
+        results: List[RunResult] = []
+        for done, spec in enumerate(specs, start=1):
+            reset_run_ids()
+            started = time.perf_counter()
+            try:
+                value = spec.fn(*spec.args, **spec.kwargs)
+                result = RunResult(
+                    spec.key, value=value, wall_s=time.perf_counter() - started
+                )
+            except BaseException as exc:  # noqa: BLE001
+                result = RunResult(
+                    spec.key,
+                    error=RunFailure(
+                        type(exc).__name__, str(exc), traceback.format_exc()
+                    ),
+                    wall_s=time.perf_counter() - started,
+                )
+            results.append(result)
+            if self.progress is not None:
+                self.progress(done, len(specs), result)
+        return results
+
+    # -- forked ----------------------------------------------------------------
+    def _run_forked(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        pending = list(enumerate(specs))  # launch in spec order
+        active: Dict[Any, Tuple[int, Any]] = {}  # recv conn -> (index, process)
+        done = 0
+
+        def launch() -> None:
+            while pending and len(active) < self.jobs:
+                index, spec = pending.pop(0)
+                recv, send = self._ctx.Pipe(duplex=False)
+                proc = self._ctx.Process(
+                    target=_worker_main,
+                    args=(send, spec.fn, spec.args, spec.kwargs),
+                    name=f"repro-run-{spec.key}",
+                )
+                proc.start()
+                send.close()  # child holds the only sender now
+                active[recv] = (index, proc)
+
+        launch()
+        while active:
+            ready = multiprocessing.connection.wait(list(active))
+            for conn in ready:
+                index, proc = active.pop(conn)
+                spec = specs[index]
+                try:
+                    status, payload, wall = conn.recv()
+                except EOFError:
+                    status, payload, wall = None, None, 0.0
+                conn.close()
+                proc.join()
+                if status == "ok":
+                    result = RunResult(spec.key, value=payload, wall_s=wall)
+                elif status == "err":
+                    result = RunResult(spec.key, error=payload, wall_s=wall)
+                else:  # died before reporting: crash, signal, os._exit
+                    result = RunResult(
+                        spec.key,
+                        error=RunFailure(
+                            "worker-crashed",
+                            f"worker exited with code {proc.exitcode} "
+                            "before reporting a result",
+                        ),
+                    )
+                results[index] = result
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, len(specs), result)
+            launch()
+        return results  # type: ignore[return-value]
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    argtuples: Sequence[Tuple],
+    jobs: int = 1,
+    keys: Optional[Sequence[str]] = None,
+    progress: Optional[ProgressFn] = None,
+) -> List[Any]:
+    """Map ``fn`` over argument tuples; raise on the first failed run.
+
+    The strict-raise merge suits experiment grids where any failure
+    invalidates the figure; sweeps that tolerate failures (chaos fuzz)
+    use :class:`ParallelRunner` directly and inspect ``error`` slots.
+    """
+    specs = [
+        RunSpec(
+            key=keys[i] if keys is not None else f"{fn.__name__}[{i}]",
+            fn=fn,
+            args=tuple(args),
+        )
+        for i, args in enumerate(argtuples)
+    ]
+    outcomes = ParallelRunner(jobs=jobs, progress=progress).run(specs)
+    for outcome in outcomes:
+        if outcome.error is not None:
+            raise RuntimeError(
+                f"parallel run {outcome.key!r} failed — {outcome.error}\n"
+                f"{outcome.error.traceback}"
+            )
+    return [outcome.value for outcome in outcomes]

@@ -25,7 +25,7 @@ from .buffers import ReassemblyQueue, ReceiveBuffer, SendBuffer
 from .cc.base import CongestionControl, RateSample
 from .intervals import IntervalSet
 from .rtt import RttEstimator
-from .segment import TcpSegment
+from .segment import TcpSegment, alloc_segment
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .stack import TcpStack
@@ -786,7 +786,7 @@ class TcpConnection:
     ) -> TcpSegment:
         wnd = self.recv_buffer.window(self.assembly.out_of_order_bytes)
         self._last_advertised_wnd = wnd
-        seg = TcpSegment(
+        seg = alloc_segment(
             src_port=self.local.port,
             dst_port=self.remote.port,
             seq=seq,

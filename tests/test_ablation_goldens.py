@@ -1,0 +1,126 @@
+"""Golden pins for the ablation experiments at small N.
+
+These pin the full float output (via ``repr``) of one cheap point of
+each ablation grid, on two axes at once:
+
+* **Bit-stability** — refactors of the datapath or the experiment
+  plumbing that change *any* simulated quantity show up here first,
+  with an exact diff instead of a flaky threshold.
+* **Executor identity** — the same grid fanned across workers
+  (``jobs=2``) must merge to exactly the serial result; the parallel
+  runner resets process-global id allocators per run precisely so this
+  holds.
+
+If a deliberate model change moves these numbers, regenerate with the
+calls below and update the tables — the diff *is* the review artifact.
+"""
+
+import dataclasses
+
+from repro.experiments.ablation_connscale import run_connscale_ablation
+from repro.experiments.ablation_multiplexing import run_multiplexing_ablation
+
+CONNSCALE_KWARGS = dict(
+    client_counts=(1, 4),
+    duration=0.08,
+    warmup=0.02,
+    modes=("native", "netkernel"),
+)
+
+#: (mode, clients) -> repr of (requests_per_s, p50_us, p99_us)
+CONNSCALE_GOLDEN = {
+    ("native", 1): (
+        "26583.333333333336",
+        "43.50960000000514",
+        "45.009600000034396",
+    ),
+    ("native", 4): (
+        "88700.0",
+        "52.14911999999045",
+        "52.14912000003902",
+    ),
+    ("netkernel", 1): (
+        "22150.0",
+        "52.6608000000206",
+        "52.66080000003448",
+    ),
+    ("netkernel", 4): (
+        "54666.66666666667",
+        "84.69272000007078",
+        "84.69272000007078",
+    ),
+}
+
+MULTIPLEX_KWARGS = dict(tenants=2, duration=0.08, warmup=0.02)
+
+#: placement -> (nsm_count, cores_reserved, then reprs of memory_gb,
+#: aggregate_gbps, min_tenant_gbps, max_tenant_gbps)
+MULTIPLEX_GOLDEN = {
+    "dedicated": (
+        2,
+        2,
+        "2.0",
+        "37.62775722590455",
+        "14.371187016032849",
+        "23.256570209871704",
+    ),
+    "shared": (
+        1,
+        1,
+        "1.0",
+        "37.63257465874189",
+        "17.69521069796196",
+        "19.93736396077993",
+    ),
+}
+
+
+def _connscale_observed(jobs):
+    result = run_connscale_ablation(jobs=jobs, **CONNSCALE_KWARGS)
+    return {
+        (row.mode, row.clients): (
+            repr(row.requests_per_s),
+            repr(row.p50_us),
+            repr(row.p99_us),
+        )
+        for row in result.rows
+    }
+
+
+def _multiplex_observed(jobs):
+    result = run_multiplexing_ablation(jobs=jobs, **MULTIPLEX_KWARGS)
+    return {
+        row.placement: (
+            row.nsm_count,
+            row.cores_reserved,
+            repr(row.memory_gb),
+            repr(row.aggregate_gbps),
+            repr(row.min_tenant_gbps),
+            repr(row.max_tenant_gbps),
+        )
+        for row in result.rows
+    }
+
+
+def test_connscale_small_n_matches_golden():
+    assert _connscale_observed(jobs=1) == CONNSCALE_GOLDEN
+
+
+def test_connscale_parallel_matches_serial_exactly():
+    serial = run_connscale_ablation(jobs=1, **CONNSCALE_KWARGS)
+    fanned = run_connscale_ablation(jobs=2, **CONNSCALE_KWARGS)
+    assert [dataclasses.asdict(r) for r in serial.rows] == [
+        dataclasses.asdict(r) for r in fanned.rows
+    ]
+
+
+def test_multiplexing_small_n_matches_golden():
+    assert _multiplex_observed(jobs=1) == MULTIPLEX_GOLDEN
+
+
+def test_multiplexing_parallel_matches_serial_exactly():
+    serial = run_multiplexing_ablation(jobs=1, **MULTIPLEX_KWARGS)
+    fanned = run_multiplexing_ablation(jobs=2, **MULTIPLEX_KWARGS)
+    assert [dataclasses.asdict(r) for r in serial.rows] == [
+        dataclasses.asdict(r) for r in fanned.rows
+    ]

@@ -270,3 +270,211 @@ def test_epoll_unregister_and_empty_wait():
         epoll.unregister(3)
     with pytest.raises(ValueError):
         epoll.register(3, events=0x4)
+
+
+def test_epoll_level_triggered_until_drained():
+    """A partially-read fd reports ready on every wait until drained."""
+    rig, api_a, api_b = make_kernel_apis()
+    out = {"ready_rounds": 0, "blocked_delay": None}
+
+    def server(sim):
+        fd = yield api_b.socket()
+        yield api_b.bind(fd, 5000)
+        yield api_b.listen(fd)
+        conn = yield api_b.accept(fd)
+        epoll = Epoll(sim, api_b)
+        epoll.register(conn)
+        yield sim.timeout(1.0)  # 300 bytes are in the receive buffer now
+        for _ in range(3):  # drain in 100-byte bites: 3 level-triggered hits
+            ready = yield epoll.wait()
+            assert ready == [(conn, EPOLLIN)]
+            out["ready_rounds"] += 1
+            yield api_b.recv(conn, 100)
+        waited_at = sim.now
+        ready = yield epoll.wait()  # drained: blocks until the next send
+        out["blocked_delay"] = sim.now - waited_at
+        assert ready == [(conn, EPOLLIN)]
+
+    def client(sim):
+        fd = yield api_a.socket()
+        yield api_a.connect(fd, Endpoint("10.0.0.2", 5000))
+        yield api_a.send(fd, 300)
+        yield sim.timeout(2.0)
+        yield api_a.send(fd, 50)
+
+    rig.sim.process(server(rig.sim))
+    rig.sim.process(client(rig.sim))
+    rig.run(until=5.0)
+    assert out["ready_rounds"] == 3
+    assert out["blocked_delay"] is not None and out["blocked_delay"] > 0
+
+
+def test_epoll_no_spurious_wakeups_across_many_idle_fds():
+    """wait() reports only fds with data — idle registrations stay silent."""
+    rig, api_a, api_b = make_kernel_apis()
+    out = {}
+
+    def server(sim):
+        fd = yield api_b.socket()
+        yield api_b.bind(fd, 5000)
+        yield api_b.listen(fd)
+        epoll = Epoll(sim, api_b)
+        conns = []
+        for _ in range(8):
+            conn = yield api_b.accept(fd)
+            conns.append(conn)
+            epoll.register(conn)
+        ready = yield epoll.wait()
+        out["ready"] = ready
+        out["expected"] = conns[3]
+
+    def client(sim):
+        fds = []
+        for _ in range(8):
+            fd = yield api_a.socket()
+            yield api_a.connect(fd, Endpoint("10.0.0.2", 5000))
+            fds.append(fd)
+        yield sim.timeout(0.5)
+        yield api_a.send(fds[3], 64)  # exactly one fd becomes readable
+
+    rig.sim.process(server(rig.sim))
+    rig.sim.process(client(rig.sim))
+    rig.run(until=5.0)
+    assert out["ready"] == [(out["expected"], EPOLLIN)]
+
+
+def test_epoll_unregister_while_armed_discards_late_readiness():
+    """Data arriving after unregister must not mark the dead fd ready."""
+    rig, api_a, api_b = make_kernel_apis()
+    out = {}
+
+    def server(sim):
+        fd = yield api_b.socket()
+        yield api_b.bind(fd, 5000)
+        yield api_b.listen(fd)
+        conn_a = yield api_b.accept(fd)
+        conn_b = yield api_b.accept(fd)
+        epoll = Epoll(sim, api_b)
+        epoll.register(conn_a)  # unready: leaves an armed waiter behind
+        epoll.register(conn_b)
+        epoll.unregister(conn_a)
+        ready = yield epoll.wait()  # data later lands on BOTH conns
+        out["ready"] = ready
+        out["conn_b"] = conn_b
+
+    def client(sim):
+        fds = []
+        for _ in range(2):
+            fd = yield api_a.socket()
+            yield api_a.connect(fd, Endpoint("10.0.0.2", 5000))
+            fds.append(fd)
+        yield sim.timeout(0.5)
+        yield api_a.send(fds[0], 64)
+        yield api_a.send(fds[1], 64)
+
+    rig.sim.process(server(rig.sim))
+    rig.sim.process(client(rig.sim))
+    rig.run(until=5.0)
+    assert out["ready"] == [(out["conn_b"], EPOLLIN)]
+
+
+def test_epoll_wait_reentry_raises():
+    rig, _api_a, api_b = make_kernel_apis()
+    failures = []
+
+    def server(sim):
+        fd = yield api_b.socket()
+        yield api_b.bind(fd, 5000)
+        yield api_b.listen(fd)
+        epoll = Epoll(sim, api_b)
+        epoll.register(fd)
+        epoll.wait()  # parks: nothing is connecting
+        try:
+            epoll.wait()
+        except RuntimeError as exc:
+            failures.append(str(exc))
+
+    rig.sim.process(server(rig.sim))
+    rig.run(until=1.0)
+    assert failures and "re-entered" in failures[0]
+
+
+def test_epoll_wait_cost_scales_with_ready_not_registered():
+    """O(ready) guarantee: idle registrations add no per-wait event churn.
+
+    With N idle connections registered and one active flow, the number of
+    simulator events per served message must not grow with N — the old
+    implementation armed one waiter per registered fd per wait and paid
+    ~N events per wakeup (quadratic over a run).
+    """
+    costs = {}
+    for idle in (4, 32):
+        rig, api_a, api_b = make_kernel_apis()
+        served = []
+
+        def server(sim, api_b=api_b, served=served):
+            fd = yield api_b.socket()
+            yield api_b.bind(fd, 5000)
+            yield api_b.listen(fd)
+            epoll = Epoll(sim, api_b)
+            conns = []
+            for _ in range(idle + 1):
+                conn = yield api_b.accept(fd)
+                conns.append(conn)
+                epoll.register(conn)
+            while True:
+                ready = yield epoll.wait()
+                for conn, _ev in ready:
+                    got = yield api_b.recv(conn, 1 << 20)
+                    served.append(got)
+
+        def client(sim, api_a=api_a, idle=idle):
+            fds = []
+            for _ in range(idle + 1):
+                fd = yield api_a.socket()
+                yield api_a.connect(fd, Endpoint("10.0.0.2", 5000))
+                fds.append(fd)
+            yield sim.timeout(1.0 - sim.now)  # fixed schedule across Ns
+            for _ in range(20):
+                yield sim.timeout(0.05)
+                yield api_a.send(fds[0], 256)
+
+        rig.sim.process(server(rig.sim))
+        rig.sim.process(client(rig.sim))
+        # Steady state only: messages 6..20 land in (1.3, 2.1].  Setup of
+        # N idle fds is a legitimate O(N) one-time cost and must not count.
+        rig.run(until=1.3)
+        assert len(served) == 5, served
+        setup_events = rig.sim.events_processed
+        rig.run(until=2.1)
+        assert len(served) == 20, served
+        costs[idle] = (rig.sim.events_processed - setup_events) / 15
+    # 8x the idle fds must not inflate per-message event cost by even 50%.
+    assert costs[32] < costs[4] * 1.5, costs
+
+
+def test_connect_refused_raises_api_level_reset():
+    """A peer resetting the handshake surfaces as *api* ConnectionReset.
+
+    The TCP layer fails the established event with its own reset class
+    (not a SocketError); the API boundary must translate it, or apps
+    programmed against ``except SocketError`` crash on connect-time
+    resets — found by chaos fuzz, where a client reconnecting into a
+    mid-failover server died instead of retrying.
+    """
+    from repro.api import ConnectionReset, SocketError
+
+    rig, api_a, _ = make_kernel_apis()
+    caught = []
+
+    def client(sim):
+        fd = yield api_a.socket()
+        try:
+            yield api_a.connect(fd, Endpoint("10.0.0.2", 9999))  # closed port
+        except SocketError as exc:
+            caught.append(exc)
+
+    rig.sim.process(client(rig.sim))
+    rig.run(until=2.0)
+    assert len(caught) == 1
+    assert isinstance(caught[0], ConnectionReset)

@@ -1,0 +1,200 @@
+"""Receive-side coalescing (LRO) on the NIC: opt-in, byte-conserving.
+
+Unit tests drive :meth:`NIC._lro_receive` directly with crafted packets
+(the NIC's receive path needs no stack above it — ``rx_handler`` is just
+a callable), then one end-to-end transfer checks byte conservation
+through a real TCP stack.  The default-off datapath is additionally
+golden-pinned by the experiment goldens; here we only assert the switch
+itself defaults off.
+"""
+
+from dataclasses import replace
+
+from repro.net import OffloadConfig, VirtualNIC
+from repro.sim import Simulator
+from repro.tcp.segment import TcpSegment
+
+from conftest import make_linked_stacks, transfer
+
+FLUSH_S = 1e-3
+
+
+def _lro_nic(sim, **offload_kwargs):
+    offload_kwargs.setdefault("lro_flush_s", FLUSH_S)
+    nic = VirtualNIC(sim, "10.0.0.2", OffloadConfig(tso=False, lro=True, **offload_kwargs))
+    delivered = []
+    nic.rx_handler = lambda pkt: delivered.append((sim.now, pkt))
+    return nic, delivered
+
+
+def _data_packet(
+    seq,
+    length,
+    *,
+    src_port=4000,
+    dst_port=5000,
+    src="10.0.0.1",
+    ecn_capable=False,
+    ecn_ce=False,
+    ece=False,
+    cwr=False,
+    ack_no=0,
+    wnd=65535,
+):
+    from repro.net.packet import Packet
+
+    seg = TcpSegment(
+        src_port=src_port,
+        dst_port=dst_port,
+        seq=seq,
+        ack_no=ack_no,
+        payload_len=length,
+        ack=True,
+        wnd=wnd,
+        ece=ece,
+        cwr=cwr,
+    )
+    return Packet(
+        src=src,
+        dst="10.0.0.2",
+        payload_bytes=length,
+        payload=seg,
+        ecn_capable=ecn_capable,
+        ecn_ce=ecn_ce,
+    )
+
+
+def _pure_ack(ack_no=1000, src_port=4000):
+    return _data_packet(0, 0, src_port=src_port, ack_no=ack_no)
+
+
+# ------------------------------------------------------------------ default --
+def test_lro_defaults_off_and_off_path_delivers_per_packet():
+    assert OffloadConfig().lro is False
+    sim = Simulator()
+    nic = VirtualNIC(sim, "10.0.0.2")  # stock offload config
+    delivered = []
+    nic.rx_handler = lambda pkt: delivered.append(pkt)
+    nic.receive(_data_packet(0, 1000))
+    nic.receive(_data_packet(1000, 1000))
+    assert [p.payload.payload_len for p in delivered] == [1000, 1000]
+    assert nic.lro_merged_deliveries == 0
+
+
+# ------------------------------------------------------------------- merging --
+def test_lro_merges_contiguous_segments_byte_for_byte():
+    sim = Simulator()
+    nic, delivered = _lro_nic(sim)
+    for seq in (0, 1000, 2000):
+        nic.receive(_data_packet(seq, 1000, wnd=40000 + seq))
+    assert delivered == []  # held for the aggregation window
+    sim.run(until=10 * FLUSH_S)
+    assert len(delivered) == 1
+    _, pkt = delivered[0]
+    seg = pkt.payload
+    assert seg.seq == 0 and seg.payload_len == 3000
+    assert pkt.payload_bytes == 3000  # packet and segment agree
+    assert seg.wnd == 42000  # latest frame's advertised window wins
+    assert nic.lro_merged_deliveries == 1
+
+
+def test_lro_gap_flushes_pending_and_restarts():
+    sim = Simulator()
+    nic, delivered = _lro_nic(sim)
+    nic.receive(_data_packet(0, 1000))
+    nic.receive(_data_packet(5000, 1000))  # out of order: not contiguous
+    assert [p.payload.seq for _, p in delivered] == [0]  # flushed, in order
+    sim.run(until=10 * FLUSH_S)
+    assert [(p.payload.seq, p.payload.payload_len) for _, p in delivered] == [
+        (0, 1000),
+        (5000, 1000),
+    ]
+
+
+def test_lro_non_mergeable_frame_flushes_first_preserving_flow_order():
+    sim = Simulator()
+    nic, delivered = _lro_nic(sim)
+    nic.receive(_data_packet(0, 1000))
+    nic.receive(_data_packet(1000, 1000))
+    nic.receive(_pure_ack(ack_no=777))  # zero-length: never merged
+    # The pending merge must be delivered *before* the ACK so the stack
+    # sees this flow's segments in arrival order.
+    kinds = [(p.payload.payload_len, p.payload.ack_no) for _, p in delivered]
+    assert kinds == [(2000, 0), (0, 777)]
+
+
+def test_lro_byte_cap_bounds_super_segments():
+    sim = Simulator()
+    nic, delivered = _lro_nic(sim, lro_max_bytes=2500)
+    for seq in (0, 1000, 2000):  # third would exceed the 2500-byte cap
+        nic.receive(_data_packet(seq, 1000))
+    sim.run(until=10 * FLUSH_S)
+    assert [p.payload.payload_len for _, p in delivered] == [2000, 1000]
+    assert all(p.payload.payload_len <= 2500 for _, p in delivered)
+
+
+def test_lro_timer_flush_uses_slot_identity():
+    sim = Simulator()
+    nic, delivered = _lro_nic(sim)
+    # Frame A arms a flush timer for t=FLUSH_S; an ACK flushes A early at
+    # t=FLUSH_S/2 and frame B opens a *new* slot under the same flow key.
+    sim.schedule_call(0.0, nic.receive, _data_packet(0, 100))
+    sim.schedule_call(FLUSH_S / 2, nic.receive, _pure_ack())
+    sim.schedule_call(FLUSH_S / 2, nic.receive, _data_packet(100, 100))
+    # A's stale timer fires at t=FLUSH_S: it must NOT flush B's slot.
+    sim.run(until=1.2 * FLUSH_S)
+    assert [p.payload.payload_len for _, p in delivered] == [100, 0]
+    sim.run(until=2 * FLUSH_S)
+    assert [p.payload.payload_len for _, p in delivered] == [100, 0, 100]
+    # B flushed on its own window, anchored at its arrival time.
+    assert delivered[-1][0] == FLUSH_S / 2 + FLUSH_S
+
+
+def test_lro_flows_coalesce_independently():
+    sim = Simulator()
+    nic, delivered = _lro_nic(sim)
+    for seq in (0, 1000):  # interleaved frames of two flows
+        nic.receive(_data_packet(seq, 1000, src_port=4000))
+        nic.receive(_data_packet(seq, 1000, src_port=4001))
+    sim.run(until=10 * FLUSH_S)
+    got = sorted((p.payload.src_port, p.payload.payload_len) for _, p in delivered)
+    assert got == [(4000, 2000), (4001, 2000)]
+    assert nic.lro_merged_deliveries == 2
+
+
+def test_lro_congestion_signals_survive_merging():
+    sim = Simulator()
+    nic, delivered = _lro_nic(sim)
+    nic.receive(_data_packet(0, 1000, ecn_capable=True))
+    nic.receive(_data_packet(1000, 1000, ecn_ce=True, ece=True, ack_no=50))
+    nic.receive(_data_packet(2000, 1000, cwr=True, ack_no=40))
+    sim.run(until=10 * FLUSH_S)
+    (_, pkt), = delivered
+    assert pkt.ecn_capable and pkt.ecn_ce  # CE mark on any frame sticks
+    seg = pkt.payload
+    assert seg.ece and seg.cwr  # TCP-layer echoes OR together
+    assert seg.ack_no == 50  # cumulative ack never regresses
+
+
+def test_lro_syn_fin_rst_never_merge():
+    sim = Simulator()
+    nic, delivered = _lro_nic(sim)
+    nic.receive(_data_packet(0, 1000))
+    fin = _data_packet(1000, 1000)
+    fin.payload = replace(fin.payload, fin=True)
+    nic.receive(fin)  # contiguous but flagged: flushes, delivered alone
+    assert [(p.payload.payload_len, p.payload.fin) for _, p in delivered] == [
+        (1000, False),
+        (1000, True),
+    ]
+
+
+# -------------------------------------------------------------- end to end --
+def test_lro_end_to_end_transfer_is_byte_conserving():
+    total = 300_000
+    plain = transfer(make_linked_stacks(), total_bytes=total)
+    rig = make_linked_stacks()
+    rig.stack_b.nic.offload = OffloadConfig(tso=False, lro=True)
+    coalesced = transfer(rig, total_bytes=total)
+    assert coalesced["received"] == plain["received"] == total
+    assert rig.stack_b.nic.lro_merged_deliveries > 0
