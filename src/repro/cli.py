@@ -60,11 +60,23 @@ def _jobs(args: argparse.Namespace) -> int:
     return max(1, getattr(args, "jobs", 1) or 1)
 
 
+def _shards(args: argparse.Namespace) -> int:
+    return max(1, getattr(args, "shards", 1) or 1)
+
+
+def _pool(args: argparse.Namespace) -> str:
+    return getattr(args, "pool", "fork") or "fork"
+
+
 def run_figure4(args: argparse.Namespace) -> str:
     from .experiments import run_figure4 as harness
 
     return harness(
-        duration=args.duration, warmup=args.duration * 0.25, jobs=_jobs(args)
+        duration=args.duration,
+        warmup=args.duration * 0.25,
+        jobs=_jobs(args),
+        shards=_shards(args),
+        pool=_pool(args),
     ).table()
 
 
@@ -72,7 +84,11 @@ def run_figure5(args: argparse.Namespace) -> str:
     from .experiments import run_figure5 as harness
 
     return harness(
-        duration=args.duration, seeds=tuple(args.seeds), jobs=_jobs(args)
+        duration=args.duration,
+        seeds=tuple(args.seeds),
+        jobs=_jobs(args),
+        shards=_shards(args),
+        pool=_pool(args),
     ).table()
 
 
@@ -96,8 +112,11 @@ def run_ablation(args: argparse.Namespace) -> str:
     harness = getattr(experiments, _ABLATIONS[args.which])
     kwargs = {}
     # Grid-shaped ablations accept ``jobs``; single-run ones don't.
-    if "jobs" in inspect.signature(harness).parameters:
+    parameters = inspect.signature(harness).parameters
+    if "jobs" in parameters:
         kwargs["jobs"] = _jobs(args)
+    if "pool" in parameters:
+        kwargs["pool"] = _pool(args)
     return harness(**kwargs).table()
 
 
@@ -128,7 +147,12 @@ def run_bench(args: argparse.Namespace) -> str:
         from .experiments import bench_scale
 
         result = bench_scale.run_bench(
-            smoke=args.smoke, jobs=_jobs(args), sweep=not args.no_sweep
+            smoke=args.smoke,
+            jobs=_jobs(args),
+            sweep=not args.no_sweep,
+            sharded=not args.no_sharded,
+            shards=_shards(args),
+            pool=_pool(args),
         )
         render = bench_scale.render
         out = args.out if args.out is not None else "BENCH_scale.json"
@@ -151,11 +175,24 @@ def run_bench(args: argparse.Namespace) -> str:
 
 def run_trace(args: argparse.Namespace) -> str:
     """Run one experiment datapath with the repro.obs tracer enabled."""
+    import json
+
     from . import obs
     from .obs import runtime as obs_runtime
 
-    sampler = obs.HeadSampler(args.sample) if args.sample > 1 else None
-    tracer = obs.Tracer(sampler=sampler, cadence=args.cadence)
+    shards = _shards(args)
+
+    def new_tracer():
+        sampler = obs.HeadSampler(args.sample) if args.sample > 1 else None
+        return obs.Tracer(sampler=sampler, cadence=args.cadence)
+
+    # One tracer per shard keeps the span stores disjoint; with one shard
+    # this degenerates to the classic single process-wide tracer.
+    tracers = [new_tracer() for _ in range(shards)]
+    trace_kwargs = (
+        {"tracer": tracers[0]} if shards == 1 else
+        {"tracers": tracers, "shards": shards}
+    )
     try:
         if args.experiment == "figure4":
             from .experiments.figure4 import measure_lan_throughput
@@ -166,7 +203,7 @@ def run_trace(args: argparse.Namespace) -> str:
                 flows=args.flows,
                 duration=duration,
                 warmup=duration * 0.25,
-                tracer=tracer,
+                **trace_kwargs,
             )
             headline = (
                 f"figure4 (netkernel, {args.flows} flow(s), {duration}s sim): "
@@ -183,7 +220,7 @@ def run_trace(args: argparse.Namespace) -> str:
                 "bbr",
                 duration=duration,
                 warmup=duration * 0.125,
-                tracer=tracer,
+                **trace_kwargs,
             )
             headline = (
                 f"figure5 (BBR NSM, {duration}s sim): {mbps:.2f} Mbps"
@@ -193,15 +230,25 @@ def run_trace(args: argparse.Namespace) -> str:
         # into whatever the interpreter does next.
         obs_runtime.reset()
 
-    obs.write_chrome_trace(tracer, args.out)
-    if args.summary_out:
-        obs.write_summary(tracer, args.summary_out)
-
-    report = obs.summary(tracer)
+    if shards == 1:
+        obs.write_chrome_trace(tracers[0], args.out)
+        if args.summary_out:
+            obs.write_summary(tracers[0], args.summary_out)
+        report = obs.summary(tracers[0])
+    else:
+        obs.write_chrome_trace_merged(tracers, args.out)
+        report = obs.merged_summary(tracers)
+        if args.summary_out:
+            with open(args.summary_out, "w") as fh:
+                json.dump(report, fh, indent=1, sort_keys=False)
     lines = [
         headline,
         f"chrome trace -> {args.out} (open in chrome://tracing or Perfetto)",
     ]
+    if shards > 1:
+        lines.append(
+            f"merged from {shards} shard tracers (one trace process per shard)"
+        )
     if args.summary_out:
         lines.append(f"summary -> {args.summary_out}")
     lines.append(
@@ -231,6 +278,7 @@ def run_chaos(args: argparse.Namespace) -> str:
             faults=args.faults,
             jobs=_jobs(args),
             progress=_progress_printer("chaos-fuzz"),
+            pool=_pool(args),
         )
         report = chaos.render_fuzz_sweep(outcomes)
         if any(outcome.error is not None for outcome in outcomes):
@@ -297,11 +345,23 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="fan independent runs across N worker processes "
                             "(results bit-identical to --jobs 1)")
+        p.add_argument("--pool", choices=["fork", "persistent"],
+                       default="fork",
+                       help="worker policy for --jobs: fork a fresh process "
+                            "per run (crashes attributable per-run) or reuse "
+                            "persistent workers (faster for short runs)")
+
+    def add_shards(p: argparse.ArgumentParser, default: int = 1) -> None:
+        p.add_argument("--shards", type=int, default=default, metavar="N",
+                       help="split each simulation across N per-host shards "
+                            "(conservative-lookahead windows; simulated "
+                            "metrics bit-identical to --shards 1)")
 
     fig4 = sub.add_parser("figure4", help="Figure 4")
     fig4.add_argument("--duration", type=float, default=0.35,
                       help="seconds of simulated time per point")
     add_jobs(fig4)
+    add_shards(fig4)
     fig4.set_defaults(runner=run_figure4)
 
     fig5 = sub.add_parser("figure5", help="Figure 5")
@@ -309,6 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3],
                       help="loss-process realizations to average")
     add_jobs(fig5)
+    add_shards(fig5)
     fig5.set_defaults(runner=run_figure5)
 
     ablation = sub.add_parser("ablation", help="§5 ablations")
@@ -328,10 +389,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="datapath: runs per config, best kept")
     bench.add_argument("--no-sweep", action="store_true",
                        help="scale: skip the serial-vs-parallel sweep")
+    bench.add_argument("--no-sharded", action="store_true",
+                       help="scale: skip the intra-run sharded section")
     bench.add_argument("--out", default=None,
                        help="result JSON path (default BENCH_<which>.json, "
                             "'' to skip writing)")
     add_jobs(bench)
+    add_shards(bench, default=2)
     bench.set_defaults(runner=run_bench)
 
     trace = sub.add_parser(
@@ -351,6 +415,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="head-sample 1-in-N root spans (default: all)")
     trace.add_argument("--cadence", type=float, default=None,
                        help="counter snapshot interval in sim seconds")
+    add_shards(trace)
     trace.set_defaults(runner=run_trace)
 
     chaos = sub.add_parser(

@@ -54,6 +54,8 @@ __all__ = [
     "measure_churn_point",
     "run_bench",
     "run_scale_bench",
+    "run_sharded_point",
+    "run_sweep",
     "check_regression",
     "render",
     "main",
@@ -77,32 +79,45 @@ DEFAULT_TOLERANCE = 0.25
 SEND_SPACING = 2e-6
 #: Connect-phase stagger per client (keeps SYN backlogs shallow).
 CONNECT_SPACING = 2e-6
+#: Connections per sink listen port — below the ~32k ephemeral-port
+#: space a client stack has per remote ``(ip, port)``.
+CONNS_PER_PORT = 30000
 
 
 class _EpollSink:
-    """One epoll loop serving a listener plus every accepted connection."""
+    """One epoll loop serving its listeners plus every accepted connection.
 
-    def __init__(self, sim: Simulator, api, port: int, read_size: int = 1 << 16):
+    Usually one listen port; the 100k point spreads connections over
+    several (a client stack has only ~32k ephemeral ports per remote
+    ``(ip, port)``, so beyond that the workload needs more listeners —
+    the same reason real frontends at that scale do).
+    """
+
+    def __init__(self, sim: Simulator, api, port, read_size: int = 1 << 16):
         self.sim = sim
         self.api = api
-        self.port = port
+        self.ports = [port] if isinstance(port, int) else list(port)
         self.read_size = read_size
         self.bytes = 0
         self.messages = 0
         self.accepted = 0
-        self.process = sim.process(self._run(), name=f"epoll-sink:{port}")
+        self.process = sim.process(self._run(), name=f"epoll-sink:{self.ports[0]}")
 
     def _run(self):
-        listen_fd = yield self.api.socket()
-        yield self.api.bind(listen_fd, self.port)
-        yield self.api.listen(listen_fd, backlog=512)
+        listen_fds = set()
+        for port in self.ports:
+            listen_fd = yield self.api.socket()
+            yield self.api.bind(listen_fd, port)
+            yield self.api.listen(listen_fd, backlog=512)
+            listen_fds.add(listen_fd)
         epoll = Epoll(self.sim, self.api)
-        epoll.register(listen_fd)
+        for listen_fd in listen_fds:
+            epoll.register(listen_fd)
         while True:
             ready = yield epoll.wait()
             for fd, _events in ready:
-                if fd == listen_fd:
-                    conn_fd = yield self.api.accept(listen_fd)
+                if fd in listen_fds:
+                    conn_fd = yield self.api.accept(fd)
                     epoll.register(conn_fd)
                     self.accepted += 1
                     continue
@@ -149,59 +164,123 @@ class _ScheduledSender:
             self.sent += 1
 
 
+class _EpollWorld:
+    """The epoll workload plus everything needed to run/collect it."""
+
+    __slots__ = ("testbed", "sharded", "sink", "senders", "duration", "expected")
+
+
+def _epoll_duration(n_conns: int, messages_per_conn: int = 2) -> float:
+    """Sim end time of the epoll workload (closed-form: no build needed)."""
+    connect_phase = n_conns * CONNECT_SPACING + 0.005
+    return connect_phase + (messages_per_conn * n_conns) * SEND_SPACING + 0.005
+
+
+def _build_epoll_world(
+    n_conns: int,
+    messages_per_conn: int = 2,
+    message_bytes: int = 512,
+    shards: int = 1,
+    propagation_delay: float = 5e-6,
+) -> _EpollWorld:
+    """Build the epoll workload (module-level: the shard workers call it)."""
+    from .common import make_lan_testbed
+
+    testbed = make_lan_testbed(
+        shards=shards, propagation_delay=propagation_delay
+    )
+    server_vm = testbed.hypervisor_b.boot_legacy_vm("server", vcpus=4)
+    client_vm = testbed.hypervisor_a.boot_legacy_vm("clients", vcpus=4)
+
+    world = _EpollWorld()
+    world.testbed = testbed
+    world.sharded = testbed.sharded
+    # The client stack has ~32k ephemeral ports per remote (ip, port):
+    # past that the sink must spread across listen ports.  Assignment is
+    # by *block* (connections 0..cap-1 -> first port, ...), not
+    # round-robin: the ephemeral allocator wraps every 32768 connects,
+    # and a round-robin whose period divides the wrap would hand two
+    # connections the same (local_port, dst_port) pair.  Within a block
+    # the spread is < 32768, so local ports cannot repeat.
+    n_ports = 1 + (n_conns - 1) // CONNS_PER_PORT
+    ports = [5000 + p for p in range(n_ports)]
+    world.sink = _EpollSink(testbed.sim_b, server_vm.api, port=ports)
+    connect_phase = n_conns * CONNECT_SPACING + 0.005
+    world.senders = []
+    for i in range(n_conns):
+        send_times = [
+            connect_phase + (m * n_conns + i) * SEND_SPACING
+            for m in range(messages_per_conn)
+        ]
+        world.senders.append(
+            _ScheduledSender(
+                testbed.sim_a,
+                client_vm.api,
+                Endpoint(server_vm.api.ip, ports[i // CONNS_PER_PORT]),
+                connect_at=i * CONNECT_SPACING,
+                send_times=send_times,
+                message_bytes=message_bytes,
+            )
+        )
+    world.duration = _epoll_duration(n_conns, messages_per_conn)
+    world.expected = n_conns * messages_per_conn
+    return world
+
+
+def _collect_epoll_world(world: _EpollWorld, shard: int) -> Dict[str, object]:
+    """Per-shard result extraction for the process executor (shard 1 owns
+    the sink; other shards contribute only their event counts)."""
+    row: Dict[str, object] = {
+        "shard": shard,
+        "events": world.testbed.sharded.sims[shard].events_processed,
+    }
+    if shard == 1:
+        row["messages_delivered"] = world.sink.messages
+        row["bytes_delivered"] = world.sink.bytes
+    return row
+
+
 def measure_epoll_point(
     n_conns: int,
     messages_per_conn: int = 2,
     message_bytes: int = 512,
+    shards: int = 1,
+    shard_executor: str = "serial",
+    propagation_delay: float = 5e-6,
 ) -> Dict[str, object]:
     """N persistent connections into one epoll sink, sparse sends.
 
     Message ``m`` of client ``i`` lands at ``T0 + (m * N + i) * spacing``
     — every delivery is its own epoll wakeup with O(1) ready fds, which
     is exactly where a per-wait O(n_fds) scan goes quadratic.
+
+    ``shards``/``shard_executor`` run the same workload sharded per host
+    (bit-identical simulated metrics); ``propagation_delay`` sets the
+    wire delay and therefore the sharded run's lookahead window width.
     """
-    from .common import make_lan_testbed
-
-    testbed = make_lan_testbed()
-    sim = testbed.sim
-    server_vm = testbed.hypervisor_b.boot_legacy_vm("server", vcpus=4)
-    client_vm = testbed.hypervisor_a.boot_legacy_vm("clients", vcpus=4)
-
-    sink = _EpollSink(sim, server_vm.api, port=5000)
-    connect_phase = n_conns * CONNECT_SPACING + 0.005
-    senders = []
-    for i in range(n_conns):
-        send_times = [
-            connect_phase + (m * n_conns + i) * SEND_SPACING
-            for m in range(messages_per_conn)
-        ]
-        senders.append(
-            _ScheduledSender(
-                sim,
-                client_vm.api,
-                Endpoint(server_vm.api.ip, 5000),
-                connect_at=i * CONNECT_SPACING,
-                send_times=send_times,
-                message_bytes=message_bytes,
-            )
-        )
-    duration = connect_phase + (messages_per_conn * n_conns) * SEND_SPACING + 0.005
-
+    world = _build_epoll_world(
+        n_conns, messages_per_conn, message_bytes, shards, propagation_delay
+    )
     started = time.perf_counter()
-    sim.run(until=duration)
+    world.testbed.run(until=world.duration, executor=shard_executor)
     wall = time.perf_counter() - started
-    expected = n_conns * messages_per_conn
-    return {
+    events = world.testbed.events_processed
+    row = {
         "workload": "epoll",
         "connections": n_conns,
         "wall_s": wall,
-        "events": sim.events_processed,
-        "events_per_s": sim.events_processed / wall if wall > 0 else 0.0,
-        "messages_delivered": sink.messages,
-        "messages_expected": expected,
-        "bytes_delivered": sink.bytes,
-        "sim_seconds": duration,
+        "events": events,
+        "events_per_s": events / wall if wall > 0 else 0.0,
+        "messages_delivered": world.sink.messages,
+        "messages_expected": world.expected,
+        "bytes_delivered": world.sink.bytes,
+        "sim_seconds": world.duration,
     }
+    if world.sharded is not None:
+        row["shards"] = shards
+        row["windows"] = world.sharded.windows
+        row["messages_exchanged"] = world.sharded.messages_exchanged
+    return row
 
 
 def measure_churn_point(
@@ -247,6 +326,7 @@ FULL_POINTS = [
     ("epoll_100", "epoll", 100),
     ("epoll_1000", "epoll", 1000),
     ("epoll_10000", "epoll", 10000),
+    ("epoll_100000", "epoll", 100000),
     ("churn_64", "churn", 64),
 ]
 SMOKE_POINTS = [
@@ -258,6 +338,11 @@ SMOKE_POINTS = [
 #: The sweep: ≥8 independent runs, serial vs 4 workers.
 SWEEP_RUNS = 8
 SWEEP_JOBS = 4
+
+#: The sharded point: 2-host epoll workload with a fatter wire delay —
+#: lookahead is the window width, so 25 µs packs ~5x the events per
+#: window (and per barrier round trip) that the LAN default 5 µs would.
+SHARDED_PROP_DELAY = 25e-6
 
 
 def _run_point(kind: str, size: int) -> Dict[str, object]:
@@ -276,7 +361,13 @@ def run_sweep(
     jobs: int = SWEEP_JOBS,
     size: int = 400,
 ) -> Dict[str, object]:
-    """Time ``runs`` independent simulations serially, then with ``jobs``."""
+    """Time ``runs`` independent simulations serially, then with ``jobs``.
+
+    The parallel leg is timed three ways — fork-per-run with the pickle
+    pipe, persistent pool with the pipe, persistent pool with the
+    shared-memory metric transport — so the pool/transport overheads are
+    visible side by side in ``BENCH_scale.json``.
+    """
     from ..parallel import ParallelRunner, RunSpec
 
     tasks = [
@@ -287,18 +378,35 @@ def run_sweep(
     serial = ParallelRunner(jobs=1).run(tasks)
     serial_wall = time.perf_counter() - serial_started
 
-    parallel_started = time.perf_counter()
-    parallel = ParallelRunner(jobs=jobs).run(tasks)
-    parallel_wall = time.perf_counter() - parallel_started
+    def timed(pool: str, transport: str):
+        started = time.perf_counter()
+        outcomes = ParallelRunner(jobs=jobs, pool=pool, transport=transport).run(
+            tasks
+        )
+        return outcomes, time.perf_counter() - started
 
-    # The parallel merge must be bit-identical to the serial one.
-    mismatches = sum(
+    parallel, parallel_wall = timed("fork", "pipe")
+    pooled, pooled_wall = timed("persistent", "pipe")
+    pooled_shm, pooled_shm_wall = timed("persistent", "shm")
+
+    # Every parallel merge must be bit-identical to the serial one
+    # (modulo host wall clock and anything derived from it).
+    def mismatch_count(alternative) -> int:
+        volatile = ("wall_s", "events_per_s")
+        return sum(
+            1
+            for s, p in zip(serial, alternative)
+            if s.error is None
+            and p.error is None
+            and {k: v for k, v in s.value.items() if k not in volatile}
+            != {k: v for k, v in p.value.items() if k not in volatile}
+        )
+
+    failures = sum(
         1
-        for s, p in zip(serial, parallel)
-        if s.error is None
-        and p.error is None
-        and {k: v for k, v in s.value.items() if k != "wall_s"}
-        != {k: v for k, v in p.value.items() if k != "wall_s"}
+        for outcomes in (serial, parallel, pooled, pooled_shm)
+        for r in outcomes
+        if r.error is not None
     )
     return {
         "runs": runs,
@@ -306,9 +414,82 @@ def run_sweep(
         "point_connections": size,
         "serial_wall_s": serial_wall,
         "parallel_wall_s": parallel_wall,
+        "persistent_wall_s": pooled_wall,
+        "persistent_shm_wall_s": pooled_shm_wall,
         "speedup": serial_wall / parallel_wall if parallel_wall > 0 else None,
-        "failures": sum(1 for r in serial + parallel if r.error is not None),
-        "result_mismatches": mismatches,
+        "persistent_speedup": (
+            serial_wall / pooled_wall if pooled_wall > 0 else None
+        ),
+        "persistent_shm_speedup": (
+            serial_wall / pooled_shm_wall if pooled_shm_wall > 0 else None
+        ),
+        "failures": failures,
+        "result_mismatches": (
+            mismatch_count(parallel)
+            + mismatch_count(pooled)
+            + mismatch_count(pooled_shm)
+        ),
+    }
+
+
+def run_sharded_point(
+    n_conns: int = 10000,
+    shards: int = 2,
+    propagation_delay: float = SHARDED_PROP_DELAY,
+) -> Dict[str, object]:
+    """Intra-run parallelism: one big simulation, serial vs sharded workers.
+
+    Times the identical 2-host epoll workload twice — classic single
+    heap, then split per host across ``shards`` worker processes
+    (:func:`repro.parallel.run_sharded_process`) — and cross-checks that
+    the simulated metrics (events, messages, bytes) are identical.
+    ``host_cpus`` in the payload qualifies the speedup: with fewer cores
+    than shards the sharded run pays the window protocol without the
+    parallel hardware to win it back.
+    """
+    from ..parallel import ShardRunStats, run_sharded_process
+    from ..runstate import reset_run_ids
+
+    reset_run_ids()
+    serial = measure_epoll_point(n_conns, propagation_delay=propagation_delay)
+    reset_run_ids()
+    duration = _epoll_duration(n_conns)
+
+    stats = ShardRunStats()
+    started = time.perf_counter()
+    rows = run_sharded_process(
+        _build_epoll_world,
+        (n_conns, 2, 512, shards, propagation_delay),
+        until=duration,
+        collect_fn=_collect_epoll_world,
+        shards=shards,
+        stats=stats,
+    )
+    sharded_wall = time.perf_counter() - started
+    reset_run_ids()
+
+    sink_row = rows[1 % shards] or {}
+    metrics_match = (
+        stats.events_processed == serial["events"]
+        and sink_row.get("messages_delivered") == serial["messages_delivered"]
+        and sink_row.get("bytes_delivered") == serial["bytes_delivered"]
+    )
+    return {
+        "workload": "epoll",
+        "connections": n_conns,
+        "shards": shards,
+        "propagation_delay": propagation_delay,
+        "lookahead": stats.lookahead,
+        "windows": stats.windows,
+        "messages_exchanged": stats.messages,
+        "serial_wall_s": serial["wall_s"],
+        "sharded_wall_s": sharded_wall,
+        "speedup": (
+            serial["wall_s"] / sharded_wall if sharded_wall > 0 else None
+        ),
+        "events": stats.events_processed,
+        "metrics_match": metrics_match,
+        "host_cpus": os.cpu_count(),
     }
 
 
@@ -316,12 +497,17 @@ def run_bench(
     smoke: bool = False,
     jobs: Optional[int] = None,
     sweep: bool = True,
+    sharded: bool = True,
+    shards: int = 2,
+    pool: str = "fork",
 ) -> Dict[str, object]:
     """Run the scale matrix (and the sweep); returns the JSON payload.
 
     ``jobs`` fans the matrix points themselves through the parallel
     runner (wall-clock numbers then overlap; events and workload progress
-    stay bit-identical to serial).
+    stay bit-identical to serial).  ``sharded`` adds the intra-run
+    parallelism section: one big epoll run, serial vs ``shards`` worker
+    processes.
     """
     points = SMOKE_POINTS if smoke else FULL_POINTS
     results: Dict[str, Dict[str, object]] = {}
@@ -332,7 +518,8 @@ def run_bench(
             RunSpec(key=key, fn=_run_point, args=(kind, size))
             for key, kind, size in points
         ]
-        for spec, outcome in zip(points, ParallelRunner(jobs=jobs).run(tasks)):
+        runner = ParallelRunner(jobs=jobs, pool=pool)
+        for spec, outcome in zip(points, runner.run(tasks)):
             if outcome.error is not None:
                 raise RuntimeError(f"scale point {spec[0]} failed: {outcome.error}")
             results[spec[0]] = outcome.value
@@ -362,6 +549,10 @@ def run_bench(
     if sweep:
         payload["sweep"] = run_sweep(
             runs=SWEEP_RUNS, jobs=SWEEP_JOBS, size=100 if smoke else 400
+        )
+    if sharded:
+        payload["sharded"] = run_sharded_point(
+            n_conns=1000 if smoke else 10000, shards=shards
         )
     return payload
 
@@ -430,6 +621,24 @@ def render(result: Dict[str, object]) -> str:
             f"-> {speedup:.2f}x on {result['host_cpus']} host cpu(s); "
             f"{sweep['result_mismatches']} result mismatch(es)"
         )
+        if "persistent_wall_s" in sweep:
+            lines.append(
+                f"  pools: fork {sweep['parallel_wall_s']:.2f}s, "
+                f"persistent {sweep['persistent_wall_s']:.2f}s, "
+                f"persistent+shm {sweep['persistent_shm_wall_s']:.2f}s"
+            )
+    sharded = result.get("sharded")
+    if sharded:
+        lines.append(
+            f"sharded: {sharded['connections']} conns split over "
+            f"{sharded['shards']} shard workers, serial "
+            f"{sharded['serial_wall_s']:.2f}s vs sharded "
+            f"{sharded['sharded_wall_s']:.2f}s -> {sharded['speedup']:.2f}x "
+            f"on {sharded['host_cpus']} host cpu(s); "
+            f"{sharded['windows']} windows "
+            f"(lookahead {sharded['lookahead'] * 1e6:.0f} us), metrics "
+            f"{'match' if sharded['metrics_match'] else 'MISMATCH'}"
+        )
     lines.append(f"peak RSS {result['peak_rss_kb']} KB")
     return "\n".join(lines)
 
@@ -444,6 +653,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="fan matrix points across N worker processes")
     parser.add_argument("--no-sweep", action="store_true",
                         help="skip the serial-vs-parallel sweep section")
+    parser.add_argument("--no-sharded", action="store_true",
+                        help="skip the intra-run sharded section")
+    parser.add_argument("--shards", type=int, default=2,
+                        help="shard worker count for the sharded section")
     parser.add_argument("--out", default="BENCH_scale.json",
                         help="result JSON path")
     parser.add_argument("--check", default=None, metavar="REF_JSON",
@@ -451,7 +664,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         ">25%% events/s vs this committed reference")
     args = parser.parse_args(argv)
 
-    result = run_bench(smoke=args.smoke, jobs=args.jobs, sweep=not args.no_sweep)
+    result = run_bench(
+        smoke=args.smoke,
+        jobs=args.jobs,
+        sweep=not args.no_sweep,
+        sharded=not args.no_sharded,
+        shards=args.shards,
+    )
     with open(args.out, "w") as fh:
         json.dump(result, fh, indent=2)
         fh.write("\n")

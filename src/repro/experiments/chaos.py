@@ -448,6 +448,7 @@ def run_chaos_fuzz(
     faults: int = 5,
     jobs: int = 1,
     progress=None,
+    pool: str = "fork",
 ):
     """A sweep of seeded random fault plans; returns ``List[RunResult]``.
 
@@ -467,7 +468,7 @@ def run_chaos_fuzz(
         )
         for index in range(count)
     ]
-    return ParallelRunner(jobs=jobs, progress=progress).run(specs)
+    return ParallelRunner(jobs=jobs, progress=progress, pool=pool).run(specs)
 
 
 def render_fuzz_sweep(outcomes) -> str:

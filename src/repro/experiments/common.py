@@ -10,8 +10,8 @@ Two environments appear in §4:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
 
 from ..host import PhysicalHost
 from ..net import (
@@ -25,7 +25,7 @@ from ..net import (
 from ..netkernel import CoreEngineConfig, Hypervisor
 from ..obs import runtime as obs_runtime
 from ..obs.spans import Tracer
-from ..sim import Simulator
+from ..sim import ShardedSimulation, Simulator, shard_for_host
 
 
 def _trace_sim(tracer: Optional[Tracer]) -> Simulator:
@@ -42,6 +42,38 @@ def _trace_sim(tracer: Optional[Tracer]) -> Simulator:
     if tracer is not None:
         tracer.attach(sim)
     return sim
+
+
+def _enter_shard(
+    sharded: ShardedSimulation, shard: int, tracers: Optional[Sequence[Tracer]]
+) -> Simulator:
+    """Select shard ``shard``'s simulator, installing its tracer first.
+
+    Components capture the process-wide tracer at construction, so each
+    shard's subtree must be built with that shard's tracer installed —
+    that is what keeps per-shard span stores disjoint (and thread-safe
+    under the thread executor).  Call this immediately before building a
+    host/hypervisor/app on the shard.
+    """
+    sim = sharded.sims[shard]
+    if tracers is not None:
+        obs_runtime.set_tracer(tracers[shard])
+        tracers[shard].attach(sim)
+    return sim
+
+
+def _check_shard_args(
+    shards: int, tracer: Optional[Tracer], tracers: Optional[Sequence[Tracer]]
+) -> None:
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if shards > 1 and tracer is not None:
+        raise ValueError(
+            "a single process-wide tracer cannot serve a sharded build; "
+            "pass tracers=[...] (one per shard) instead"
+        )
+    if tracers is not None and len(tracers) != shards:
+        raise ValueError(f"need exactly {shards} tracers, got {len(tracers)}")
 
 __all__ = [
     "LanTestbed",
@@ -81,14 +113,47 @@ def default_wan_loss(seed: int = 1) -> LossModel:
     return EpisodicLoss(mean_interval=8.0, burst_len=1, background_p=3e-4, seed=seed)
 
 
+class _RunnableTestbed:
+    """Shared run/metrics surface over plain and sharded testbeds."""
+
+    sim: Simulator
+    sharded: Optional[ShardedSimulation]
+
+    def run(self, until: Optional[float] = None, executor: str = "serial") -> None:
+        """Run the testbed to ``until`` — sharded windows or the one heap."""
+        if self.sharded is not None:
+            self.sharded.run(until=until, executor=executor)
+        else:
+            self.sim.run(until=until)
+
+    @property
+    def events_processed(self) -> int:
+        if self.sharded is not None:
+            return self.sharded.events_processed
+        return self.sim.events_processed
+
+
 @dataclass
-class LanTestbed:
+class LanTestbed(_RunnableTestbed):
     sim: Simulator
     host_a: PhysicalHost
     host_b: PhysicalHost
     hypervisor_a: Hypervisor
     hypervisor_b: Hypervisor
     wire: DuplexLink
+    #: Set when built with ``shards > 1``; drive the run through
+    #: :meth:`run` so either form executes correctly.
+    sharded: Optional[ShardedSimulation] = None
+
+    @property
+    def sim_a(self) -> Simulator:
+        """Host A's simulator (== ``sim`` when unsharded)."""
+        return self.host_a.sim
+
+    @property
+    def sim_b(self) -> Simulator:
+        """Host B's simulator (== ``sim`` when unsharded)."""
+        return self.host_b.sim
 
 
 def make_lan_testbed(
@@ -98,8 +163,53 @@ def make_lan_testbed(
     sriov: bool = True,
     coreengine_config: Optional[CoreEngineConfig] = None,
     tracer: Optional[Tracer] = None,
+    shards: int = 1,
+    tracers: Optional[Sequence[Tracer]] = None,
 ) -> LanTestbed:
-    """Two back-to-back hosts, as in the prototype testbed (§4.1)."""
+    """Two back-to-back hosts, as in the prototype testbed (§4.1).
+
+    ``shards > 1`` builds the same topology partitioned per host (host A
+    on shard 0, host B on shard 1; extra shards idle) with the wire as
+    the cut link — see :mod:`repro.sim.sharded`.  Simulated metrics are
+    bit-identical to the unsharded build.
+    """
+    _check_shard_args(shards, tracer, tracers)
+    if shards > 1:
+        sharded = ShardedSimulation(shards)
+        shard_a, shard_b = shard_for_host(0, shards), shard_for_host(1, shards)
+        sim_a = _enter_shard(sharded, shard_a, tracers)
+        host_a = PhysicalHost(
+            sim_a, "hostA", "10.1.255.1", sriov=sriov,
+            addresses=AddressAllocator("10.1"),
+        )
+        hypervisor_a = Hypervisor(sim_a, host_a, coreengine_config)
+        sim_b = _enter_shard(sharded, shard_b, tracers)
+        host_b = PhysicalHost(
+            sim_b, "hostB", "10.2.255.1", sriov=sriov,
+            addresses=AddressAllocator("10.2"),
+        )
+        hypervisor_b = Hypervisor(sim_b, host_b, coreengine_config)
+        wire = DuplexLink(
+            sim_a,
+            rate_bps=rate_bps,
+            propagation_delay=propagation_delay,
+            queue_bytes=queue_bytes,
+            name="40g-wire",
+            sim_b=sim_b,
+        )
+        host_a.pnic.wire = wire.a_to_b.send
+        host_b.pnic.wire = wire.b_to_a.send
+        wire.attach(host_a.pnic.wire_receive, host_b.pnic.wire_receive)
+        sharded.cut_duplex(wire, shard_a, shard_b)
+        return LanTestbed(
+            sim=sim_a,
+            host_a=host_a,
+            host_b=host_b,
+            hypervisor_a=hypervisor_a,
+            hypervisor_b=hypervisor_b,
+            wire=wire,
+            sharded=sharded,
+        )
     sim = _trace_sim(tracer)
     host_a = PhysicalHost(
         sim, "hostA", "10.1.255.1", sriov=sriov, addresses=AddressAllocator("10.1")
@@ -128,13 +238,22 @@ def make_lan_testbed(
 
 
 @dataclass
-class WanTestbed:
+class WanTestbed(_RunnableTestbed):
     sim: Simulator
     server_host: PhysicalHost
     client_host: PhysicalHost
     server_hypervisor: Hypervisor
     client_hypervisor: Hypervisor
     wire: DuplexLink
+    sharded: Optional[ShardedSimulation] = None
+
+    @property
+    def server_sim(self) -> Simulator:
+        return self.server_host.sim
+
+    @property
+    def client_sim(self) -> Simulator:
+        return self.client_host.sim
 
 
 def make_wan_testbed(
@@ -146,16 +265,61 @@ def make_wan_testbed(
     seed: int = 1,
     coreengine_config: Optional[CoreEngineConfig] = None,
     tracer: Optional[Tracer] = None,
+    shards: int = 1,
+    tracers: Optional[Sequence[Tracer]] = None,
 ) -> WanTestbed:
     """Figure 5's path: datacenter server -> transpacific WAN -> client.
 
     Loss applies on the server's uplink direction (where the data flows);
     the reverse (ACK) direction is clean — asymmetric, like the real path.
+
+    ``shards > 1`` puts the server on shard 0 and the client on shard 1
+    with the WAN wire cut; its rtt/2 propagation gives the sharded run a
+    huge lookahead (175 ms), the best case for windowed execution.
     """
-    sim = _trace_sim(tracer)
+    _check_shard_args(shards, tracer, tracers)
     # No TSO super-segments on the WAN path: at 12 Mbps, Linux's TSO
     # autosizing degenerates to MTU-sized frames anyway.
     wan_offload = OffloadConfig(tso=False)
+    if shards > 1:
+        sharded = ShardedSimulation(shards)
+        shard_s, shard_c = shard_for_host(0, shards), shard_for_host(1, shards)
+        sim_s = _enter_shard(sharded, shard_s, tracers)
+        server = PhysicalHost(
+            sim_s, "beijing", "10.1.255.1",
+            addresses=AddressAllocator("10.1"), offload=wan_offload,
+        )
+        server_hv = Hypervisor(sim_s, server, coreengine_config)
+        sim_c = _enter_shard(sharded, shard_c, tracers)
+        client = PhysicalHost(
+            sim_c, "california", "10.2.255.1",
+            addresses=AddressAllocator("10.2"), offload=wan_offload,
+        )
+        client_hv = Hypervisor(sim_c, client, coreengine_config)
+        wire = DuplexLink(
+            sim_s,
+            rate_bps=uplink_bps,
+            rate_bps_reverse=downlink_bps,
+            propagation_delay=rtt / 2.0,
+            queue_bytes=queue_bytes,
+            loss=loss if loss is not None else default_wan_loss(seed),
+            name="wan",
+            sim_b=sim_c,
+        )
+        server.pnic.wire = wire.a_to_b.send
+        client.pnic.wire = wire.b_to_a.send
+        wire.attach(server.pnic.wire_receive, client.pnic.wire_receive)
+        sharded.cut_duplex(wire, shard_s, shard_c)
+        return WanTestbed(
+            sim=sim_s,
+            server_host=server,
+            client_host=client,
+            server_hypervisor=server_hv,
+            client_hypervisor=client_hv,
+            wire=wire,
+            sharded=sharded,
+        )
+    sim = _trace_sim(tracer)
     server = PhysicalHost(
         sim,
         "beijing",
@@ -193,13 +357,14 @@ def make_wan_testbed(
 
 
 @dataclass
-class ClusterTestbed:
+class ClusterTestbed(_RunnableTestbed):
     """N hosts joined by a core switch (multi-host scenarios)."""
 
     sim: Simulator
     hosts: list
     hypervisors: list
     core: CoreSwitch
+    sharded: Optional[ShardedSimulation] = None
 
 
 def make_cluster_testbed(
@@ -209,10 +374,52 @@ def make_cluster_testbed(
     queue_bytes: int = 2 * 1024 * 1024,
     ecn_threshold_bytes: Optional[int] = None,
     tracer: Optional[Tracer] = None,
+    shards: int = 1,
+    tracers: Optional[Sequence[Tracer]] = None,
 ) -> ClusterTestbed:
-    """A small cluster: every host uplinks into one core switch."""
+    """A small cluster: every host uplinks into one core switch.
+
+    ``shards > 1`` keeps the core switch on shard 0 and deals hosts
+    round-robin across shards (``shard_for_host``); every uplink whose
+    host landed off shard 0 becomes a cut link.  Host 0 shares shard 0
+    with the switch, so its uplink stays local — mirroring how a real
+    partitioner co-locates the fabric with one host group.
+    """
     if n_hosts < 2:
         raise ValueError("a cluster needs at least 2 hosts")
+    _check_shard_args(shards, tracer, tracers)
+    if shards > 1:
+        sharded = ShardedSimulation(shards)
+        core_sim = _enter_shard(sharded, 0, tracers)
+        core = CoreSwitch(core_sim, ecn_threshold_bytes=ecn_threshold_bytes)
+        hosts, hypervisors = [], []
+        for index in range(n_hosts):
+            shard = shard_for_host(index, shards)
+            host_sim = _enter_shard(sharded, shard, tracers)
+            host = PhysicalHost(
+                host_sim,
+                f"host{index}",
+                f"10.{index + 1}.255.1",
+                addresses=AddressAllocator(f"10.{index + 1}"),
+            )
+            uplink = core.attach_host(
+                host,
+                rate_bps=rate_bps,
+                propagation_delay=propagation_delay,
+                queue_bytes=queue_bytes,
+                host_sim=host_sim,
+            )
+            if shard != 0:
+                sharded.cut_duplex(uplink, shard, 0)
+            hosts.append(host)
+            hypervisors.append(Hypervisor(host_sim, host))
+        return ClusterTestbed(
+            sim=core_sim,
+            hosts=hosts,
+            hypervisors=hypervisors,
+            core=core,
+            sharded=sharded,
+        )
     sim = _trace_sim(tracer)
     core = CoreSwitch(sim, ecn_threshold_bytes=ecn_threshold_bytes)
     hosts, hypervisors = [], []

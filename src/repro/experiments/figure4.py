@@ -70,17 +70,28 @@ def measure_lan_throughput(
     coreengine_config=None,
     tracer=None,
     stats_out=None,
+    shards: int = 1,
+    shard_executor: str = "serial",
+    tracers=None,
 ) -> float:
     """Aggregate goodput (Gbps) of ``flows`` bulk flows on the LAN testbed.
 
     ``coreengine_config`` overrides the datapath policy (batching, notify
     mode, ...).  Pass a dict as ``stats_out`` to receive simulator-level
     metrics (``events_processed``) — the bench harness uses this.
+
+    ``shards > 1`` runs the same experiment partitioned per host
+    (conservative-lookahead windows over the wire); results are
+    bit-identical to ``shards=1`` — pinned by tests/test_sim_sharded.py.
     """
     if mode not in ("native", "netkernel"):
         raise ValueError(f"mode must be 'native' or 'netkernel', got {mode!r}")
-    testbed = make_lan_testbed(coreengine_config=coreengine_config, tracer=tracer)
-    sim = testbed.sim
+    testbed = make_lan_testbed(
+        coreengine_config=coreengine_config,
+        tracer=tracer,
+        shards=shards,
+        tracers=tracers,
+    )
     overrides = {"rcvbuf": socket_buf, "sndbuf": socket_buf}
 
     if mode == "netkernel":
@@ -109,12 +120,15 @@ def measure_lan_throughput(
     receivers = []
     for i in range(flows):
         port = 5000 + i
-        receivers.append(BulkReceiver(sim, vm_b.api, port, warmup=warmup))
-        BulkSender(sim, vm_a.api, remote_for(vm_b, port))
-    sim.run(until=duration)
+        receivers.append(BulkReceiver(testbed.sim_b, vm_b.api, port, warmup=warmup))
+        BulkSender(testbed.sim_a, vm_a.api, remote_for(vm_b, port))
+    testbed.run(until=duration, executor=shard_executor)
     if stats_out is not None:
-        stats_out["events_processed"] = sim.events_processed
+        stats_out["events_processed"] = testbed.events_processed
         stats_out["sim_seconds"] = duration
+        if testbed.sharded is not None:
+            stats_out["windows"] = testbed.sharded.windows
+            stats_out["messages_exchanged"] = testbed.sharded.messages_exchanged
     total_bps = sum(rx.meter.bps(until=duration) for rx in receivers)
     return total_bps / 1e9
 
@@ -125,8 +139,12 @@ def remote_for(vm, port: int):
     return Endpoint(vm.api.ip, port)
 
 
-def _measure_point(mode: str, flows: int, duration: float, warmup: float) -> float:
-    return measure_lan_throughput(mode, flows, duration=duration, warmup=warmup)
+def _measure_point(
+    mode: str, flows: int, duration: float, warmup: float, shards: int = 1
+) -> float:
+    return measure_lan_throughput(
+        mode, flows, duration=duration, warmup=warmup, shards=shards
+    )
 
 
 def run_figure4(
@@ -134,16 +152,20 @@ def run_figure4(
     duration: float = 0.35,
     warmup: float = 0.1,
     jobs: int = 1,
+    shards: int = 1,
+    pool: str = "fork",
 ) -> Figure4Result:
     """Regenerate Figure 4: one row per flow count.
 
     ``jobs`` fans the (mode × flows) grid across worker processes; the
-    merged result is bit-identical to the serial run.
+    merged result is bit-identical to the serial run.  ``shards`` runs
+    each point as a sharded simulation — also bit-identical.  ``pool``
+    picks the worker-process policy (see :mod:`repro.parallel`).
     """
     from ..parallel import parallel_map
 
     grid = [
-        (mode, flows, duration, warmup)
+        (mode, flows, duration, warmup, shards)
         for flows in flow_counts
         for mode in ("native", "netkernel")
     ]
@@ -151,7 +173,8 @@ def run_figure4(
         _measure_point,
         grid,
         jobs=jobs,
-        keys=[f"fig4:{mode}:{flows}f" for mode, flows, _, _ in grid],
+        keys=[f"fig4:{mode}:{flows}f" for mode, flows, _, _, _ in grid],
+        pool=pool,
     )
     rows = []
     for index, flows in enumerate(flow_counts):

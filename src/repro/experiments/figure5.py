@@ -87,12 +87,23 @@ def measure_wan_throughput(
     coreengine_config=None,
     tracer=None,
     stats_out=None,
+    shards: int = 1,
+    shard_executor: str = "serial",
+    tracers=None,
 ) -> float:
-    """Mean goodput (Mbps) of one sender configuration on the WAN path."""
+    """Mean goodput (Mbps) of one sender configuration on the WAN path.
+
+    ``shards > 1`` puts server and client in separate shards with the
+    rtt/2 propagation as lookahead; bit-identical to ``shards=1``.
+    """
     testbed = make_wan_testbed(
-        seed=seed, loss=loss, coreengine_config=coreengine_config, tracer=tracer
+        seed=seed,
+        loss=loss,
+        coreengine_config=coreengine_config,
+        tracer=tracer,
+        shards=shards,
+        tracers=tracers,
     )
-    sim = testbed.sim
 
     # The California client: a plain Linux VM that sinks the stream.
     client_vm = testbed.client_hypervisor.boot_legacy_vm("client", vcpus=2)
@@ -109,20 +120,29 @@ def measure_wan_throughput(
             "server", guest_os=guest_os, congestion_control=congestion_control
         )
 
-    receiver = BulkReceiver(sim, client_vm.api, port=5000, warmup=warmup)
-    BulkSender(sim, server_vm.api, Endpoint(client_vm.api.ip, 5000))
-    sim.run(until=duration)
+    receiver = BulkReceiver(testbed.client_sim, client_vm.api, port=5000, warmup=warmup)
+    BulkSender(testbed.server_sim, server_vm.api, Endpoint(client_vm.api.ip, 5000))
+    testbed.run(until=duration, executor=shard_executor)
     if stats_out is not None:
-        stats_out["events_processed"] = sim.events_processed
+        stats_out["events_processed"] = testbed.events_processed
         stats_out["sim_seconds"] = duration
+        if testbed.sharded is not None:
+            stats_out["windows"] = testbed.sharded.windows
+            stats_out["messages_exchanged"] = testbed.sharded.messages_exchanged
     return receiver.meter.bps(until=duration) / 1e6
 
 
 def _measure_sample(
-    mode: str, guest_os: GuestOS, cc: str, duration: float, warmup: float, seed: int
+    mode: str,
+    guest_os: GuestOS,
+    cc: str,
+    duration: float,
+    warmup: float,
+    seed: int,
+    shards: int = 1,
 ) -> float:
     return measure_wan_throughput(
-        mode, guest_os, cc, duration=duration, warmup=warmup, seed=seed
+        mode, guest_os, cc, duration=duration, warmup=warmup, seed=seed, shards=shards
     )
 
 
@@ -131,6 +151,8 @@ def run_figure5(
     warmup: float = 5.0,
     seeds: tuple = (1, 2, 3),
     jobs: int = 1,
+    shards: int = 1,
+    pool: str = "fork",
 ) -> Figure5Result:
     """Regenerate Figure 5: all four sender configurations, same path.
 
@@ -143,7 +165,7 @@ def run_figure5(
     from ..parallel import parallel_map
 
     grid = [
-        (mode, guest_os, cc, duration, warmup, seed)
+        (mode, guest_os, cc, duration, warmup, seed, shards)
         for _label, mode, guest_os, cc in CONFIGS
         for seed in seeds
     ]
@@ -156,6 +178,7 @@ def run_figure5(
             for label, _m, _g, _c in CONFIGS
             for seed in seeds
         ],
+        pool=pool,
     )
     rows = []
     for index, (label, _mode, _guest_os, _cc) in enumerate(CONFIGS):

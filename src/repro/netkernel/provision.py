@@ -12,6 +12,7 @@ from typing import List, Optional
 
 from ..api.socket_api import KernelSocketApi
 from ..host.machine import PhysicalHost
+from ..obs import runtime as obs_runtime
 from ..host.vm import VM, GuestOS, NetworkMode
 from ..sim import Simulator
 from ..tcp import StackConfig, TcpStack
@@ -41,6 +42,13 @@ class Hypervisor:
     ) -> None:
         self.sim = sim
         self.host = host
+        # Components capture the process-wide tracer at construction
+        # (obs.runtime contract).  Experiments boot VMs/NSMs *after* the
+        # testbed factory returns — in a sharded build, after another
+        # shard's tracer has been installed — so the hypervisor pins the
+        # tracer active at its own construction and re-installs it
+        # around every boot path.
+        self._tracer = obs_runtime.get_tracer()
         self.coreengine = CoreEngine(
             sim,
             host.hypervisor_core,
@@ -57,20 +65,23 @@ class Hypervisor:
     # ------------------------------------------------------------------- NSMs --
     def boot_nsm(self, spec: NsmSpec, name: Optional[str] = None) -> NSM:
         """Boot a network stack module and register it with CoreEngine."""
-        nsm = NSM(self.sim, self.host, spec, name=name)
-        self.coreengine.attach_nsm(nsm)
+        with obs_runtime.installed(self._tracer):
+            nsm = NSM(self.sim, self.host, spec, name=name)
+            self.coreengine.attach_nsm(nsm)
         self.nsms.append(nsm)
         return nsm
 
     def boot_rdma_nsm(self, fabric, cores: int = 1, name: Optional[str] = None) -> RdmaNsm:
         """Boot an RDMA stack module (§2.1's 'customized stack (say RDMA)')."""
-        nsm = RdmaNsm(self.sim, self.host, fabric, cores=cores, name=name)
+        with obs_runtime.installed(self._tracer):
+            nsm = RdmaNsm(self.sim, self.host, fabric, cores=cores, name=name)
         self.rdma_nsms.append(nsm)
         return nsm
 
     def attach_rdma(self, vm: VM, nsm: RdmaNsm) -> TenantRdma:
         """Give a (NetKernel or legacy) VM a Verbs handle served by ``nsm``."""
-        handle = TenantRdma(self.sim, nsm, vm.cores[0])
+        with obs_runtime.installed(self._tracer):
+            handle = TenantRdma(self.sim, nsm, vm.cores[0])
         vm.rdma = handle  # type: ignore[attr-defined]
         return handle
 
@@ -137,32 +148,33 @@ class Hypervisor:
         """Figure 2(a): the network stack runs in the guest kernel."""
         cores = self.host.allocate_cores(vcpus)
         self.host.reserve_memory(memory_gb)
-        vm = VM(self.sim, name, guest_os, cores, memory_gb, NetworkMode.LEGACY)
+        with obs_runtime.installed(self._tracer):
+            vm = VM(self.sim, name, guest_os, cores, memory_gb, NetworkMode.LEGACY)
 
-        cc = congestion_control or guest_os.default_cc
-        if cc not in guest_os.available_cc:
-            raise ValueError(
-                f"{guest_os.value} guests cannot run {cc!r} natively "
-                f"(have: {sorted(guest_os.available_cc)})"
+            cc = congestion_control or guest_os.default_cc
+            if cc not in guest_os.available_cc:
+                raise ValueError(
+                    f"{guest_os.value} guests cannot run {cc!r} natively "
+                    f"(have: {sorted(guest_os.available_cc)})"
+                )
+            if use_sriov and self.host.sriov:
+                nic = self.host.create_vf(f"{name}.vf")
+            else:
+                nic = self.host.create_vnic(f"{name}.vnic")
+            config = stack_config or StackConfig(
+                congestion_control=cc,
+                per_segment_ns=LEGACY_STACK_PER_SEGMENT_NS,
+                per_byte_ns=LEGACY_STACK_PER_BYTE_NS,
             )
-        if use_sriov and self.host.sriov:
-            nic = self.host.create_vf(f"{name}.vf")
-        else:
-            nic = self.host.create_vnic(f"{name}.vnic")
-        config = stack_config or StackConfig(
-            congestion_control=cc,
-            per_segment_ns=LEGACY_STACK_PER_SEGMENT_NS,
-            per_byte_ns=LEGACY_STACK_PER_BYTE_NS,
-        )
-        if tcp_overrides:
-            for key, value in tcp_overrides.items():
-                setattr(config.tcp, key, value)
-        vm.guest_stack = TcpStack(
-            self.sim, nic, cores=cores, config=config, name=f"{name}.stack"
-        )
-        vm.api = KernelSocketApi(
-            self.sim, vm.guest_stack, available_cc=guest_os.available_cc
-        )
+            if tcp_overrides:
+                for key, value in tcp_overrides.items():
+                    setattr(config.tcp, key, value)
+            vm.guest_stack = TcpStack(
+                self.sim, nic, cores=cores, config=config, name=f"{name}.stack"
+            )
+            vm.api = KernelSocketApi(
+                self.sim, vm.guest_stack, available_cc=guest_os.available_cc
+            )
         self.vms.append(vm)
         return vm
 
@@ -185,8 +197,9 @@ class Hypervisor:
         """
         cores = self.host.allocate_cores(vcpus)
         self.host.reserve_memory(memory_gb)
-        vm = VM(self.sim, name, guest_os, cores, memory_gb, NetworkMode.NETKERNEL)
-        attachment = self.coreengine.attach_vm(cores[0], nsm)
+        with obs_runtime.installed(self._tracer):
+            vm = VM(self.sim, name, guest_os, cores, memory_gb, NetworkMode.NETKERNEL)
+            attachment = self.coreengine.attach_vm(cores[0], nsm)
         vm.api = attachment.guestlib
         vm.vm_id = attachment.vm_id
         if qos_weight is not None or rate_limit_bps is not None:

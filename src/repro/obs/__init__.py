@@ -30,7 +30,15 @@ Or from a shell: ``python -m repro trace figure4 --out trace.json``.
 from . import runtime
 from .counters import CounterCadence, CounterSet
 from .runtime import NULL_TRACER, NullTracer
-from .export import chrome_trace, summary, write_chrome_trace, write_summary
+from .export import (
+    chrome_trace,
+    chrome_trace_merged,
+    merged_summary,
+    summary,
+    write_chrome_trace,
+    write_chrome_trace_merged,
+    write_summary,
+)
 from .histograms import Log2Histogram
 from .sampling import (
     AlwaysSampler,
@@ -59,7 +67,10 @@ __all__ = [
     "ProbabilisticSampler",
     "PerTenantSampler",
     "chrome_trace",
+    "chrome_trace_merged",
     "write_chrome_trace",
+    "write_chrome_trace_merged",
     "summary",
+    "merged_summary",
     "write_summary",
 ]

@@ -17,16 +17,33 @@ layer preserves two properties the test suite enforces:
   yields a typed :class:`RunFailure` in that run's slot; the rest of the
   sweep completes.
 
-Each run gets its own worker process (processes are recycled per run,
-not pooled), so a hard crash — ``os._exit``, a segfault in an extension,
-the OOM killer — is attributable to exactly one run and cannot poison a
-shared pool.  Fork cost is microscopic next to any simulation run.
+Two pooling policies (``pool=``):
+
+* ``"fork"`` (default) — each run gets its own worker process.  A hard
+  crash — ``os._exit``, a segfault in an extension, the OOM killer — is
+  attributable to exactly one run and cannot poison a shared pool.
+* ``"persistent"`` — ``jobs`` long-lived workers each execute many runs,
+  calling :func:`~repro.runstate.reset_run_ids` before every one (which
+  is all run-to-run isolation our pure-function runs need).  This
+  amortizes process startup + module import over the sweep — the win is
+  large when runs are short (many-point smoke grids).  A crashed worker
+  fails only the run it was executing and is respawned.
+
+Two result transports (``transport=``, persistent pool only):
+
+* ``"pipe"`` (default) — results come back pickled over the worker pipe.
+* ``"shm"`` — a run result that is a flat ``dict`` of scalars (the shape
+  every bench/figure point returns) is struct-packed into a
+  ``multiprocessing.shared_memory`` segment; only the segment name
+  crosses the pipe.  Results of any other shape fall back to the pipe
+  transparently.  ``benchmarks/bench_scale.py`` times both.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import struct
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -39,6 +56,8 @@ __all__ = [
     "ParallelRunner",
     "derive_seed",
     "parallel_map",
+    "pack_metrics",
+    "unpack_metrics",
 ]
 
 
@@ -95,6 +114,114 @@ class RunResult:
 ProgressFn = Callable[[int, int, RunResult], None]
 
 
+# -- shared-memory metric transport -------------------------------------------
+#
+# Wire format: u32 row count, then per entry a u16-length-prefixed utf-8
+# key, a one-byte type tag and the value — 'd' f64, 'q' i64, 'b' bool,
+# 's' u32-length-prefixed utf-8, 'n' None.  Nothing else qualifies; a
+# packer returning None means "use the pipe".
+
+_PACKABLE_TAGS = {float: b"d", int: b"q", bool: b"b", str: b"s"}
+
+
+def pack_metrics(value: Any) -> Optional[bytes]:
+    """Struct-pack a flat scalar dict, or ``None`` if it doesn't qualify."""
+    if type(value) is not dict:
+        return None
+    out = bytearray(struct.pack("<I", len(value)))
+    for key, item in value.items():
+        if type(key) is not str:
+            return None
+        encoded = key.encode()
+        out += struct.pack("<H", len(encoded))
+        out += encoded
+        kind = type(item)
+        if kind is bool:  # before int: bool is an int subclass
+            out += b"b"
+            out += struct.pack("<B", item)
+        elif kind is float:
+            out += b"d"
+            out += struct.pack("<d", item)
+        elif kind is int:
+            if not -(2**63) <= item < 2**63:
+                return None
+            out += b"q"
+            out += struct.pack("<q", item)
+        elif kind is str:
+            encoded = item.encode()
+            out += b"s"
+            out += struct.pack("<I", len(encoded))
+            out += encoded
+        elif item is None:
+            out += b"n"
+        else:
+            return None
+    return bytes(out)
+
+
+def unpack_metrics(buf: bytes) -> Dict[str, Any]:
+    """Inverse of :func:`pack_metrics`."""
+    (count,) = struct.unpack_from("<I", buf, 0)
+    offset = 4
+    value: Dict[str, Any] = {}
+    for _ in range(count):
+        (key_len,) = struct.unpack_from("<H", buf, offset)
+        offset += 2
+        key = bytes(buf[offset : offset + key_len]).decode()
+        offset += key_len
+        tag = buf[offset : offset + 1]
+        offset += 1
+        if tag == b"d":
+            (item,) = struct.unpack_from("<d", buf, offset)
+            offset += 8
+        elif tag == b"q":
+            (item,) = struct.unpack_from("<q", buf, offset)
+            offset += 8
+        elif tag == b"b":
+            (raw,) = struct.unpack_from("<B", buf, offset)
+            item = bool(raw)
+            offset += 1
+        elif tag == b"s":
+            (str_len,) = struct.unpack_from("<I", buf, offset)
+            offset += 4
+            item = bytes(buf[offset : offset + str_len]).decode()
+            offset += str_len
+        elif tag == b"n":
+            item = None
+        else:
+            raise ValueError(f"corrupt metric buffer: tag {tag!r}")
+        value[key] = item
+    return value
+
+
+def _ship_via_shm(packed: bytes):
+    """Create+fill a segment in the worker; the parent owns its cleanup."""
+    from multiprocessing import resource_tracker, shared_memory
+
+    segment = shared_memory.SharedMemory(create=True, size=max(1, len(packed)))
+    segment.buf[: len(packed)] = packed
+    # This process exits while the parent still needs the segment: stop
+    # our resource tracker from unlinking it at interpreter shutdown.
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+    name = segment.name
+    segment.close()
+    return name, len(packed)
+
+
+def _receive_from_shm(name: str, size: int) -> Dict[str, Any]:
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        return unpack_metrics(bytes(segment.buf[:size]))
+    finally:
+        segment.close()
+        segment.unlink()
+
+
 def _worker_main(conn, fn, args, kwargs) -> None:
     from ..runstate import reset_run_ids
 
@@ -123,6 +250,55 @@ def _worker_main(conn, fn, args, kwargs) -> None:
         conn.close()
 
 
+def _pool_worker_main(conn, transport: str) -> None:
+    """Persistent-pool worker: loop over (fn, args, kwargs) jobs until EOF."""
+    from ..runstate import reset_run_ids
+
+    while True:
+        try:
+            job = conn.recv()
+        except EOFError:
+            return
+        if job is None:  # orderly shutdown
+            return
+        fn, args, kwargs = job
+        reset_run_ids()
+        started = time.perf_counter()
+        try:
+            value = fn(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 — isolation is the point
+            conn.send(
+                (
+                    "err",
+                    RunFailure(type(exc).__name__, str(exc), traceback.format_exc()),
+                    time.perf_counter() - started,
+                )
+            )
+            continue
+        wall = time.perf_counter() - started
+        payload = None
+        if transport == "shm":
+            packed = pack_metrics(value)
+            if packed is not None:
+                try:
+                    name, size = _ship_via_shm(packed)
+                    payload = ("shm", (name, size), wall)
+                except Exception:
+                    payload = None  # no /dev/shm etc.: fall back to the pipe
+        if payload is None:
+            payload = ("ok", value, wall)
+        try:
+            conn.send(payload)
+        except Exception as exc:
+            conn.send(
+                (
+                    "err",
+                    RunFailure(type(exc).__name__, f"result not sendable: {exc}"),
+                    wall,
+                )
+            )
+
+
 class ParallelRunner:
     """Fan :class:`RunSpec`\\ s across worker processes, merge in order."""
 
@@ -131,9 +307,17 @@ class ParallelRunner:
         jobs: int = 1,
         progress: Optional[ProgressFn] = None,
         context: Optional[str] = None,
+        pool: str = "fork",
+        transport: str = "pipe",
     ) -> None:
+        if pool not in ("fork", "persistent"):
+            raise ValueError(f"unknown pool policy: {pool!r}")
+        if transport not in ("pipe", "shm"):
+            raise ValueError(f"unknown result transport: {transport!r}")
         self.jobs = max(1, jobs)
         self.progress = progress
+        self.pool = pool
+        self.transport = transport
         if context is None:
             methods = multiprocessing.get_all_start_methods()
             context = "fork" if "fork" in methods else "spawn"
@@ -144,6 +328,8 @@ class ParallelRunner:
         """Execute every spec; results align 1:1 with ``specs``."""
         if self.jobs == 1:
             return self._run_inline(specs)
+        if self.pool == "persistent":
+            return self._run_pooled(specs)
         return self._run_forked(specs)
 
     # -- inline (the reference semantics) --------------------------------------
@@ -224,6 +410,100 @@ class ParallelRunner:
             launch()
         return results  # type: ignore[return-value]
 
+    # -- persistent pool -------------------------------------------------------
+    def _spawn_pool_worker(self):
+        parent, child = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(child, self.transport),
+            name="repro-pool-worker",
+        )
+        proc.start()
+        child.close()
+        return parent, proc
+
+    def _run_pooled(self, specs: Sequence[RunSpec]) -> List[RunResult]:
+        results: List[Optional[RunResult]] = [None] * len(specs)
+        pending = list(enumerate(specs))
+        workers: Dict[Any, Tuple[Any, Optional[int]]] = {}  # conn -> (proc, index)
+        done = 0
+
+        for _ in range(min(self.jobs, max(1, len(specs)))):
+            conn, proc = self._spawn_pool_worker()
+            workers[conn] = (proc, None)
+
+        def assign() -> None:
+            for conn, (proc, index) in list(workers.items()):
+                if index is None and pending:
+                    next_index, spec = pending.pop(0)
+                    conn.send((spec.fn, spec.args, spec.kwargs))
+                    workers[conn] = (proc, next_index)
+
+        try:
+            assign()
+            while any(index is not None for _proc, index in workers.values()):
+                busy = [c for c, (_p, index) in workers.items() if index is not None]
+                for conn in multiprocessing.connection.wait(busy):
+                    proc, index = workers[conn]
+                    spec = specs[index]
+                    try:
+                        status, payload, wall = conn.recv()
+                    except EOFError:
+                        # The worker died mid-run: fail this run only,
+                        # replace the worker, keep the sweep going.
+                        conn.close()
+                        proc.join()
+                        del workers[conn]
+                        result = RunResult(
+                            spec.key,
+                            error=RunFailure(
+                                "worker-crashed",
+                                f"pool worker exited with code {proc.exitcode} "
+                                f"while running {spec.key!r}",
+                            ),
+                        )
+                        if pending:
+                            new_conn, new_proc = self._spawn_pool_worker()
+                            workers[new_conn] = (new_proc, None)
+                    else:
+                        workers[conn] = (proc, None)
+                        if status == "ok":
+                            result = RunResult(spec.key, value=payload, wall_s=wall)
+                        elif status == "shm":
+                            name, size = payload
+                            try:
+                                value = _receive_from_shm(name, size)
+                                result = RunResult(spec.key, value=value, wall_s=wall)
+                            except Exception as exc:  # noqa: BLE001
+                                result = RunResult(
+                                    spec.key,
+                                    error=RunFailure(
+                                        type(exc).__name__,
+                                        f"shm result unreadable: {exc}",
+                                    ),
+                                    wall_s=wall,
+                                )
+                        else:
+                            result = RunResult(spec.key, error=payload, wall_s=wall)
+                    results[index] = result
+                    done += 1
+                    if self.progress is not None:
+                        self.progress(done, len(specs), result)
+                assign()
+        finally:
+            for conn, (proc, _index) in workers.items():
+                try:
+                    conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+                conn.close()
+            for _conn, (proc, _index) in workers.items():
+                proc.join(timeout=10.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join()
+        return results  # type: ignore[return-value]
+
 
 def parallel_map(
     fn: Callable[..., Any],
@@ -231,6 +511,8 @@ def parallel_map(
     jobs: int = 1,
     keys: Optional[Sequence[str]] = None,
     progress: Optional[ProgressFn] = None,
+    pool: str = "fork",
+    transport: str = "pipe",
 ) -> List[Any]:
     """Map ``fn`` over argument tuples; raise on the first failed run.
 
@@ -246,7 +528,9 @@ def parallel_map(
         )
         for i, args in enumerate(argtuples)
     ]
-    outcomes = ParallelRunner(jobs=jobs, progress=progress).run(specs)
+    outcomes = ParallelRunner(
+        jobs=jobs, progress=progress, pool=pool, transport=transport
+    ).run(specs)
     for outcome in outcomes:
         if outcome.error is not None:
             raise RuntimeError(

@@ -1,0 +1,243 @@
+"""Process executor for sharded simulations: one forked worker per shard.
+
+:mod:`repro.sim.sharded` gives a run the *shape* of parallelism — per-host
+event heaps synchronized in conservative-lookahead windows — but its
+``thread`` executor cannot beat the GIL on ordinary CPython.  This module
+supplies the executor that can: each shard becomes its own OS process,
+and the window barrier becomes one pipe round trip per worker.
+
+The build is **SPMD-replicated** rather than shipped: every worker calls
+:func:`repro.runstate.reset_run_ids` and then the same module-level
+``build_fn`` with the same arguments, constructing *all* shards
+identically, and then executes only its own shard's heap.  That sidesteps
+pickling live simulators entirely and — because id counters restart from
+the same state in every process — keeps every worker's view of packet
+ids, tokens and channel numbering identical to the serial build.
+
+Window protocol (coordinator ↔ worker ``i``), one round trip per window:
+
+1. coordinator: ``("window", horizon, msgs_for_i)`` — cross-shard
+   messages destined for shard ``i``, pre-sorted by
+   ``(time, src_shard, channel_id, seq)`` exactly like
+   :meth:`ShardedSimulation.exchange`.
+2. worker: injects each message at its exact timestamp
+   (``schedule_call_at``), runs ``run_window(horizon, until)``, drains
+   the outboxes of its own channels, replies
+   ``("done", next_event_time, out_msgs)``.
+3. coordinator: effective peek of shard ``i`` is
+   ``min(reported peek, earliest undelivered message to i)``; the global
+   minimum decides the next window or termination.
+4. ``("stop",)`` — worker advances its clock to ``until``, calls
+   ``collect_fn(world, i)`` and ships the (picklable) result back.
+
+Determinism: the coordinator's per-destination message streams are the
+restriction of the global merge order to that destination, so heap
+insertion order — and therefore same-timestamp tie-breaking — matches the
+serial executor event for event.  ``run_sharded_process`` is pinned
+bit-identical to ``executor="serial"`` by ``tests/test_sim_sharded.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ShardWorkerError", "ShardRunStats", "run_sharded_process"]
+
+_INF = float("inf")
+
+#: (when, src_shard, channel_id, seq, dst_shard, payload)
+_Msg = Tuple[float, int, int, int, int, Any]
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker raised (or died); carries the remote traceback."""
+
+    def __init__(self, shard: int, kind: str, message: str, remote_tb: str = ""):
+        super().__init__(f"shard {shard} worker failed — {kind}: {message}")
+        self.shard = shard
+        self.kind = kind
+        self.remote_traceback = remote_tb
+
+
+class ShardRunStats:
+    """Coordinator-side counters for one process-executor run."""
+
+    __slots__ = ("windows", "messages", "events_processed", "lookahead")
+
+    def __init__(self) -> None:
+        self.windows = 0
+        self.messages = 0
+        self.events_processed = 0
+        self.lookahead = _INF
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "windows": self.windows,
+            "messages": self.messages,
+            "events_processed": self.events_processed,
+            "lookahead": self.lookahead,
+        }
+
+
+def _shard_worker_main(
+    conn,
+    shard: int,
+    build_fn: Callable[..., Any],
+    build_args: Tuple,
+    until: Optional[float],
+    collect_fn: Optional[Callable[[Any, int], Any]],
+) -> None:
+    from ..runstate import reset_run_ids
+
+    try:
+        reset_run_ids()
+        world = build_fn(*build_args)
+        sharded = getattr(world, "sharded", world)
+        sim = sharded.sims[shard]
+        channels = sharded.channels
+        mine = [c for c in channels if c.src_shard == shard]
+        conn.send(("hello", sim.peek(), sharded.lookahead))
+        while True:
+            command = conn.recv()
+            if command[0] == "stop":
+                break
+            _tag, horizon, inbound = command
+            for when, _src, cid, _seq, _dst, payload in inbound:
+                sim.schedule_call_at(when, channels[cid].deliver, payload)
+            events = sim.run_window(horizon, until)
+            out: List[_Msg] = []
+            for channel in mine:
+                cid = channel.channel_id
+                dst = channel.dst_shard
+                for when, seq, payload in channel.drain():
+                    out.append((when, shard, cid, seq, dst, payload))
+            conn.send(("done", sim.peek(), out, events))
+        if until is not None:
+            sim.run(until=until)  # advance the clock past the last event
+        value = None if collect_fn is None else collect_fn(world, shard)
+        conn.send(("result", value, sim.events_processed))
+    except BaseException as exc:  # noqa: BLE001 — shipped to the coordinator
+        try:
+            conn.send(("err", type(exc).__name__, str(exc), traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def run_sharded_process(
+    build_fn: Callable[..., Any],
+    build_args: Tuple = (),
+    until: Optional[float] = None,
+    collect_fn: Optional[Callable[[Any, int], Any]] = None,
+    shards: Optional[int] = None,
+    context: Optional[str] = None,
+    stats: Optional[ShardRunStats] = None,
+) -> List[Any]:
+    """Run a sharded simulation with one worker process per shard.
+
+    ``build_fn(*build_args)`` must be a module-level callable returning
+    either a :class:`~repro.sim.sharded.ShardedSimulation` or an object
+    exposing one as ``.sharded`` (the testbeds do); it is invoked
+    identically in every worker.  ``collect_fn(world, shard)`` extracts
+    that shard's picklable result after the run.  Returns the per-shard
+    collection results in shard order.
+    """
+    if context is None:
+        methods = multiprocessing.get_all_start_methods()
+        context = "fork" if "fork" in methods else "spawn"
+    ctx = multiprocessing.get_context(context)
+    if shards is None:
+        # One throwaway local build just to learn the shard count.
+        from ..runstate import reset_run_ids
+
+        reset_run_ids()
+        probe = build_fn(*build_args)
+        shards = getattr(probe, "sharded", probe).n_shards
+        reset_run_ids()
+    if stats is None:
+        stats = ShardRunStats()
+
+    conns = []
+    procs = []
+    try:
+        for shard in range(shards):
+            parent, child = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_shard_worker_main,
+                args=(child, shard, build_fn, build_args, until, collect_fn),
+                name=f"repro-shard-{shard}",
+            )
+            proc.start()
+            child.close()
+            conns.append(parent)
+            procs.append(proc)
+
+        def recv(shard: int):
+            try:
+                reply = conns[shard].recv()
+            except EOFError:
+                raise ShardWorkerError(
+                    shard,
+                    "worker-crashed",
+                    f"exited with code {procs[shard].exitcode} before replying",
+                ) from None
+            if reply[0] == "err":
+                raise ShardWorkerError(shard, reply[1], reply[2], reply[3])
+            return reply
+
+        peeks = [0.0] * shards
+        lookahead = _INF
+        for shard in range(shards):
+            _tag, peek, shard_lookahead = recv(shard)
+            peeks[shard] = peek
+            lookahead = min(lookahead, shard_lookahead)
+        stats.lookahead = lookahead
+
+        #: Messages received but not yet delivered, per destination shard.
+        pending: List[List[_Msg]] = [[] for _ in range(shards)]
+
+        def effective_peek(shard: int) -> float:
+            earliest = peeks[shard]
+            for msg in pending[shard]:
+                if msg[0] < earliest:
+                    earliest = msg[0]
+            return earliest
+
+        while True:
+            next_t = min(effective_peek(shard) for shard in range(shards))
+            if next_t == _INF or (until is not None and next_t > until):
+                break
+            horizon = next_t + lookahead
+            stats.windows += 1
+            for shard in range(shards):
+                inbound = pending[shard]
+                if inbound:
+                    inbound.sort(key=lambda m: (m[0], m[1], m[2], m[3]))
+                    pending[shard] = []
+                conns[shard].send(("window", horizon, inbound))
+            for shard in range(shards):
+                _tag, peek, out, _events = recv(shard)
+                peeks[shard] = peek
+                stats.messages += len(out)
+                for msg in out:
+                    pending[msg[4]].append(msg)
+
+        results: List[Any] = [None] * shards
+        for shard in range(shards):
+            conns[shard].send(("stop",))
+        for shard in range(shards):
+            _tag, value, events = recv(shard)
+            results[shard] = value
+            stats.events_processed += events
+        return results
+    finally:
+        for conn in conns:
+            conn.close()
+        for proc in procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()

@@ -6,6 +6,8 @@ Public surface:
 * :class:`Event`, :class:`Timeout`, :class:`AnyOf`, :class:`AllOf` — waitables.
 * :class:`Process` — generator-based coroutine; also an event.
 * :class:`Store`, :class:`Resource`, :class:`Container` — shared resources.
+* :class:`ShardedSimulation`, :class:`ShardChannel` — conservative-lookahead
+  sharding of one run across per-shard simulators.
 * :data:`NANOS`, :data:`MICROS`, :data:`MILLIS` — time-unit helpers.
 """
 
@@ -13,9 +15,13 @@ from .engine import MICROS, MILLIS, NANOS, Simulator
 from .events import AllOf, AnyOf, Event, Interrupt, SimulationError, Timeout
 from .process import Process
 from .resources import Container, Resource, Store
+from .sharded import ShardChannel, ShardedSimulation, shard_for_host
 
 __all__ = [
     "Simulator",
+    "ShardedSimulation",
+    "ShardChannel",
+    "shard_for_host",
     "Event",
     "Timeout",
     "AnyOf",

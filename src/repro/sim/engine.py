@@ -139,6 +139,40 @@ class Simulator:
         timeout._call_args = args
         return timeout
 
+    def schedule_call_at(self, when: float, func, *args) -> None:
+        """Schedule ``func(*args)`` at the *absolute* time ``when``.
+
+        The sharded execution layer (:mod:`repro.sim.sharded`) injects
+        cross-shard deliveries with the exact timestamp computed in the
+        sending shard; going through :meth:`schedule_call` would recompute
+        ``now + (when - now)``, whose float rounding need not reproduce
+        ``when`` bit-for-bit — and timestamp identity is what makes a
+        sharded run merge to the single-heap schedule.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"schedule_call_at({when}) is in the past (now={self._now})"
+            )
+        pool = self._timeout_pool
+        if pool:
+            timeout = pool.pop()
+            timeout.delay = 0.0
+            if timeout.callbacks is None:
+                timeout.callbacks = []
+            timeout._value = None
+            timeout._ok = True
+            timeout._triggered = True
+            timeout._processed = False
+        else:
+            timeout = Timeout.__new__(Timeout)
+            Event.__init__(timeout, self)
+            timeout.delay = 0.0
+            timeout._reusable = True
+            timeout._triggered = True
+        timeout._call = func
+        timeout._call_args = args
+        heapq.heappush(self._heap, (when, next(self._counter), timeout))
+
     # -- execution ------------------------------------------------------------
     def step(self) -> None:
         """Process the single next event in the queue."""
@@ -238,6 +272,59 @@ class Simulator:
             self._now = until
         finally:
             self.events_processed += processed
+
+    def run_window(self, horizon: float, limit: Optional[float] = None) -> int:
+        """Process every event with ``time < horizon`` (and ``<= limit``).
+
+        The virtual-time window primitive for conservative-lookahead
+        sharded execution (:mod:`repro.sim.sharded`): events landing
+        *exactly on* the window boundary stay queued for the next window,
+        so a cross-shard message timestamped ``horizon`` can still be
+        injected ahead of them.  Unlike :meth:`run`, the clock is left at
+        the last processed event — the shard coordinator owns end-of-run
+        clock advancement.  Returns the number of events processed.
+
+        The loop body is the same inlined :meth:`step` as :meth:`run`;
+        event semantics are identical to repeated ``step()`` calls.
+        """
+        heap = self._heap
+        pool = self._timeout_pool
+        pool_max = self._POOL_MAX
+        heappop = heapq.heappop
+        timeout_cls = Timeout
+        bound = horizon if limit is None else min(horizon, limit)
+        strict = limit is None or horizon <= limit
+        processed = 0
+        try:
+            while heap:
+                when = heap[0][0]
+                if when >= bound if strict else when > bound:
+                    break
+                _when, _seq, event = heappop(heap)
+                self._now = when
+                processed += 1
+                if event.__class__ is timeout_cls:
+                    call = event._call
+                    if call is not None and not event.callbacks:
+                        event._call = None
+                        event._processed = True
+                        call(*event._call_args)
+                        event._call_args = ()
+                        if event._reusable and len(pool) < pool_max:
+                            pool.append(event)
+                        continue
+                    event._run_callbacks()
+                    if event._reusable and len(pool) < pool_max:
+                        pool.append(event)
+                else:
+                    callbacks, event.callbacks = event.callbacks, None
+                    event._processed = True
+                    if callbacks:
+                        for callback in callbacks:
+                            callback(event)
+        finally:
+            self.events_processed += processed
+        return processed
 
     def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
         """Run until ``event`` is processed; return its value.

@@ -124,3 +124,53 @@ def test_multiplexing_parallel_matches_serial_exactly():
     assert [dataclasses.asdict(r) for r in serial.rows] == [
         dataclasses.asdict(r) for r in fanned.rows
     ]
+
+
+def test_epoll_memory_growth_is_linear_and_bounded():
+    """Live bytes per connection stay bounded as the epoll workload scales.
+
+    The 100k point in ``bench scale`` only works because per-connection
+    state is O(1): measured ~13 KB/conn (conn table entry, socket queues,
+    epoll registration, app objects).  This pins the *incremental* cost
+    between two sizes so fixed overheads cancel; a leak or an accidental
+    O(n) structure per connection (e.g. a ready-list copy retained per
+    fd) blows the bound immediately.
+    """
+    import gc
+    import tracemalloc
+
+    from repro.experiments.bench_scale import _build_epoll_world
+    from repro.runstate import reset_run_ids
+
+    def live_bytes(n_conns):
+        reset_run_ids()
+        gc.collect()
+        tracemalloc.start()
+        world = _build_epoll_world(n_conns)
+        world.testbed.run(until=world.duration)
+        assert world.sink.messages == world.expected
+        current, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return current
+
+    small, large = live_bytes(200), live_bytes(800)
+    per_conn = (large - small) / 600
+    assert per_conn < 32 * 1024, (
+        f"per-connection live memory grew to {per_conn:.0f} B "
+        f"(200 conns: {small} B, 800 conns: {large} B)"
+    )
+
+
+def test_epoll_multi_port_sink_delivers_everything():
+    """Past ~30k connections the sink spreads over several listen ports
+    (the client stack has ~32k ephemeral ports per remote endpoint).
+    Exercise that path cheaply by lowering the per-port cap."""
+    from unittest import mock
+
+    import repro.experiments.bench_scale as bench_scale
+    from repro.runstate import reset_run_ids
+
+    with mock.patch.object(bench_scale, "CONNS_PER_PORT", 100):
+        reset_run_ids()
+        row = bench_scale.measure_epoll_point(250)
+    assert len(row) and row["messages_delivered"] == row["messages_expected"] == 500

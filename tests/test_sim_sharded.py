@@ -1,0 +1,338 @@
+"""repro.sim.sharded: conservative-lookahead windowed execution.
+
+The contract under test is bit-identity: for a supported topology,
+``shards=N`` must produce byte-for-byte the same simulated metrics as
+the single-heap run — same floats (full ``repr``), same event counts —
+for every executor (serial windows, one thread per shard, one forked
+process per shard).  Plus the guard rails: zero-lookahead cuts must be
+rejected, window boundaries must be exact, and cross-shard traffic must
+cancel retransmission timeouts exactly as the serial run does.
+"""
+
+import pytest
+
+from repro.sim import ShardedSimulation, SimulationError, Simulator, shard_for_host
+
+# ---------------------------------------------------------------- topology --
+
+
+def test_shard_for_host_round_robin():
+    assert [shard_for_host(i, 3) for i in range(6)] == [0, 1, 2, 0, 1, 2]
+    assert shard_for_host(5, 1) == 0
+    with pytest.raises(ValueError):
+        shard_for_host(0, 0)
+
+
+def test_zero_propagation_cut_is_rejected():
+    sharded = ShardedSimulation(2)
+    with pytest.raises(SimulationError, match="zero propagation delay"):
+        sharded.channel(0, 1, lambda payload: None, min_delay=0.0)
+    with pytest.raises(SimulationError, match="zero propagation delay"):
+        sharded.channel(0, 1, lambda payload: None, min_delay=-1e-9)
+
+
+def test_channel_endpoints_must_differ_and_exist():
+    sharded = ShardedSimulation(2)
+    with pytest.raises(ValueError, match="different shards"):
+        sharded.channel(1, 1, lambda payload: None, min_delay=1e-6)
+    with pytest.raises(ValueError, match="no such shard"):
+        sharded.channel(0, 2, lambda payload: None, min_delay=1e-6)
+
+
+def test_set_lookahead_validation():
+    sharded = ShardedSimulation(2)
+    sharded.channel(0, 1, lambda payload: None, min_delay=1e-3)
+    with pytest.raises(SimulationError, match="> 0"):
+        sharded.set_lookahead(0.0)
+    with pytest.raises(SimulationError, match="exceeds"):
+        sharded.set_lookahead(2e-3)  # wider than the cut allows: causality
+    sharded.set_lookahead(1e-4)
+    assert sharded.lookahead == 1e-4
+
+
+def test_lookahead_is_min_over_cut_links():
+    sharded = ShardedSimulation(3)
+    sharded.channel(0, 1, lambda payload: None, min_delay=5e-6)
+    sharded.channel(1, 2, lambda payload: None, min_delay=2e-6)
+    assert sharded.lookahead == 2e-6
+
+
+# ---------------------------------------------------- window-edge semantics --
+
+
+def _token_ring(n_hops: float, delay: float):
+    """Two nodes pass a counter back and forth with fixed ``delay``.
+
+    Returns (sharded, log): the sharded build plus its event log.  Every
+    delivery lands exactly ``delay`` after the previous one — with
+    lookahead == ``delay`` every message timestamp falls exactly ON a
+    window boundary, the adversarial case for the windowing logic.
+    """
+    sharded = ShardedSimulation(2)
+    log = []
+    channels = {}
+
+    def make_recv(shard):
+        def recv(value):
+            sim = sharded.sims[shard]
+            log.append((sim.now, shard, value))
+            if value < n_hops:
+                channels[shard].post(sim.now + delay, value + 1)
+
+        return recv
+
+    channels[0] = sharded.channel(0, 1, make_recv(1), min_delay=delay)
+    channels[1] = sharded.channel(1, 0, make_recv(0), min_delay=delay)
+    # Kick off: shard 0 receives token 0 at t=0 via a locally scheduled call.
+    sharded.sims[0].schedule_call_at(0.0, make_recv(0), 0)
+    return sharded, log
+
+
+def _token_ring_serial(n_hops: int, delay: float):
+    """The single-heap reference for :func:`_token_ring`."""
+    sim = Simulator()
+    log = []
+
+    def make_recv(shard):
+        def recv(value):
+            log.append((sim.now, shard, value))
+            if value < n_hops:
+                sim.schedule_call_at(sim.now + delay, make_recv(1 - shard), value + 1)
+
+        return recv
+
+    sim.schedule_call_at(0.0, make_recv(0), 0)
+    sim.run()
+    return log
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread"])
+def test_boundary_timestamped_messages_are_exact(executor):
+    """Messages landing exactly ON window horizons arrive on time, once."""
+    delay = 1e-3
+    n_hops = 20
+    sharded, log = _token_ring(n_hops, delay)
+    sharded.run(executor=executor)
+    assert log == _token_ring_serial(n_hops, delay)
+    # Every delivery time must be the exact accumulated float — any window
+    # that ran past its horizon or re-timestamped a message breaks this.
+    expected_times = [0.0]
+    for _ in range(n_hops):
+        expected_times.append(expected_times[-1] + delay)
+    assert [entry[0] for entry in log] == expected_times
+    # One window per hop: each message is only releasable after the barrier.
+    assert sharded.windows == n_hops + 1
+    assert sharded.messages_exchanged == n_hops
+
+
+def test_run_until_advances_every_shard_clock():
+    sharded, _log = _token_ring(3, 1e-3)
+    sharded.run(until=0.5)
+    assert [sim.now for sim in sharded.sims] == [0.5, 0.5]
+
+
+def test_next_window_none_when_drained():
+    sharded, _log = _token_ring(1, 1e-3)
+    sharded.run()
+    assert sharded.next_window(None) is None
+
+
+def test_no_channels_is_one_infinite_window():
+    """No cut links: lookahead inf, one window drains each heap fully."""
+    sharded = ShardedSimulation(2)
+    seen = []
+    sharded.sims[0].schedule_call_at(1.0, seen.append, "a")
+    sharded.sims[1].schedule_call_at(2.0, seen.append, "b")
+    assert sharded.lookahead == float("inf")
+    sharded.run()
+    assert sorted(seen) == ["a", "b"]
+    assert sharded.windows == 1
+
+
+def test_thread_executor_propagates_shard_errors():
+    sharded = ShardedSimulation(2)
+    sharded.channel(0, 1, lambda payload: None, min_delay=1e-3)
+
+    def boom():
+        raise RuntimeError("shard exploded")
+
+    sharded.sims[1].schedule_call_at(0.0, boom)
+    with pytest.raises(RuntimeError, match="shard exploded"):
+        sharded.run(executor="thread")
+
+
+# ------------------------------------------------------------- bit-identity --
+#
+# The golden equivalences: real experiment datapaths (TCP, NSMs, VMs,
+# hugepage rings) run sharded vs single-heap.  Full-``repr`` float
+# comparison — nothing short of bit-identity passes.
+
+
+def _figure4_point(shards, executor="serial"):
+    from repro.experiments.figure4 import measure_lan_throughput
+
+    stats = {}
+    gbps = measure_lan_throughput(
+        "netkernel",
+        flows=2,
+        duration=0.03,
+        warmup=0.0075,
+        stats_out=stats,
+        shards=shards,
+        shard_executor=executor,
+    )
+    return repr(gbps), stats["events_processed"]
+
+
+def test_figure4_sharded_is_bit_identical():
+    serial = _figure4_point(1)
+    assert _figure4_point(2) == serial
+    # More shards than hosts: extras idle, result still identical.
+    assert _figure4_point(4) == serial
+
+
+def test_figure4_thread_executor_is_bit_identical():
+    assert _figure4_point(2, executor="thread") == _figure4_point(1)
+
+
+def _figure5_point(shards, executor="serial"):
+    """Short lossy WAN run: retransmission Timeouts are armed in the
+    server shard and cancelled by ACKs that arrive cross-shard."""
+    from repro.experiments.figure5 import measure_wan_throughput
+    from repro.host.vm import GuestOS
+
+    stats = {}
+    mbps = measure_wan_throughput(
+        "netkernel",
+        GuestOS.WINDOWS,
+        "bbr",
+        duration=3.0,
+        warmup=0.375,
+        stats_out=stats,
+        shards=shards,
+        shard_executor=executor,
+    )
+    return repr(mbps), stats["events_processed"]
+
+
+def test_figure5_lossy_wan_sharded_is_bit_identical():
+    """Cross-shard timeout cancellation under loss matches serial exactly.
+
+    The WAN path drops packets (EpisodicLoss), so the sender's RTO /
+    probe timers actually fire and get cancelled throughout the run; a
+    sharded run that delivered an ACK in the wrong window would cancel a
+    timer late (or retransmit spuriously) and change the goodput float.
+    """
+    serial = _figure5_point(1)
+    assert _figure5_point(2) == serial
+    assert _figure5_point(2, executor="thread") == serial
+
+
+def test_cluster_testbed_sharded_builds_and_matches():
+    from repro.apps import BulkReceiver, BulkSender
+    from repro.experiments import make_cluster_testbed
+    from repro.net import Endpoint
+
+    def run(shards):
+        testbed = make_cluster_testbed(n_hosts=3, shards=shards)
+        vms = [
+            hv.boot_legacy_vm(f"vm{i}", vcpus=2)
+            for i, hv in enumerate(testbed.hypervisors)
+        ]
+        rx = BulkReceiver(testbed.hosts[0].sim, vms[0].api, 5000, warmup=0.002)
+        for sender in (1, 2):
+            BulkSender(
+                testbed.hosts[sender].sim,
+                vms[sender].api,
+                Endpoint(vms[0].api.ip, 5000),
+            )
+        testbed.run(until=0.02)
+        return repr(rx.meter.bps(until=0.02)), testbed.events_processed
+
+    serial = run(1)
+    assert run(2) == serial
+    assert run(3) == serial
+
+
+def test_process_executor_is_bit_identical():
+    """One forked worker per shard reproduces the serial metrics exactly."""
+    from repro.experiments.bench_scale import (
+        _build_epoll_world,
+        _collect_epoll_world,
+        _epoll_duration,
+        measure_epoll_point,
+    )
+    from repro.parallel import ShardRunStats, run_sharded_process
+
+    n_conns = 200
+    serial = measure_epoll_point(n_conns)
+    stats = ShardRunStats()
+    rows = run_sharded_process(
+        _build_epoll_world,
+        (n_conns, 2, 512, 2, 5e-6),
+        until=_epoll_duration(n_conns),
+        collect_fn=_collect_epoll_world,
+        shards=2,
+        stats=stats,
+    )
+    assert sum(row["events"] for row in rows) == serial["events"]
+    sink_row = rows[1]
+    assert sink_row["messages_delivered"] == serial["messages_delivered"]
+    assert sink_row["bytes_delivered"] == serial["bytes_delivered"]
+    assert stats.windows > 0
+    assert stats.events_processed == serial["events"]
+
+
+def test_single_tracer_is_rejected_for_sharded_builds():
+    from repro.experiments import make_lan_testbed
+    from repro.obs import Tracer
+
+    with pytest.raises(ValueError, match="one per shard"):
+        make_lan_testbed(shards=2, tracer=Tracer())
+    with pytest.raises(ValueError, match="exactly 2"):
+        make_lan_testbed(shards=2, tracers=[Tracer()])
+
+
+def test_sharded_tracers_each_record_their_own_shard():
+    """Every shard's tracer must be populated, and the merged summary
+    must fold back to the serial traced run's summary.
+
+    Regression: VMs and NSMs are booted by experiment code *after* the
+    testbed factory returns, when the last shard's tracer is still
+    installed process-wide — without the Hypervisor re-installing the
+    tracer captured at its construction, every boot-time component
+    recorded into the final shard and shard 0's tracer stayed empty.
+    Also pins max-merge of high-water counters: both hosts name their
+    first VM ``vm1``, so ``queue.hwm.vm1.*`` appears in both shard
+    tracers and summing it would double the serial value.
+    """
+    from repro import obs
+    from repro.experiments.figure4 import measure_lan_throughput
+    from repro.runstate import reset_run_ids
+
+    kwargs = dict(flows=2, duration=0.03, warmup=0.0075)
+
+    reset_run_ids()
+    serial_tracer = obs.Tracer()
+    serial_gbps = measure_lan_throughput("netkernel", tracer=serial_tracer, **kwargs)
+
+    reset_run_ids()
+    tracers = [obs.Tracer(), obs.Tracer()]
+    sharded_gbps = measure_lan_throughput(
+        "netkernel", tracers=tracers, shards=2, **kwargs
+    )
+
+    assert repr(sharded_gbps) == repr(serial_gbps)
+    for shard, tracer in enumerate(tracers):
+        assert len(tracer.spans) > 0, f"shard {shard} tracer recorded nothing"
+    assert len(tracers[0].spans) + len(tracers[1].spans) == len(serial_tracer.spans)
+
+    merged = obs.merged_summary(tracers)
+    reference = obs.summary(serial_tracer)
+    # Histogram means may differ in the last ulp (documented: per-shard
+    # subtotals are added instead of accumulating in interleaved order);
+    # everything else — counts, counters, buckets, percentiles — is exact.
+    for report in (merged, reference):
+        for hist in report["histograms_ns"].values():
+            hist.pop("mean")
+    assert merged == reference
