@@ -10,6 +10,7 @@
     python -m repro trace figure4 --out trace.json   # cross-layer tracing
     python -m repro chaos [--smoke --seed 7]         # fault injection
     python -m repro chaos --fuzz 8 --jobs 4          # parallel fuzz sweep
+    python -m repro stackswap [--quick]  # QUIC NSM swap + tenant isolation
     python -m repro bench datapath [--quick]         # simulator wall-clock perf
     python -m repro bench scale [--smoke]            # large-N scale benchmark
     python -m repro all                  # everything (several minutes)
@@ -292,6 +293,10 @@ def run_chaos(args: argparse.Namespace) -> str:
             failures.append(f"{result.unrecovered} unrecovered flow(s)")
         if not result.failovers:
             failures.append("NSM crash produced no failover")
+        if not any(
+            rec["kind"] == "hostile-tenant" for rec in result.recovered_faults
+        ):
+            failures.append("hostile-tenant fault recorded no recovery")
         if failures:
             print(result.table())
             raise SystemExit("chaos --smoke FAILED: " + "; ".join(failures))
@@ -301,6 +306,20 @@ def run_chaos(args: argparse.Namespace) -> str:
     )
     result = chaos.run_chaos(plan, flows=args.flows, duration=args.duration)
     return plan.describe() + "\n" + result.table()
+
+
+def run_stackswap(args: argparse.Namespace) -> str:
+    """TCP-vs-QUIC stack swap + hostile-tenant isolation (acceptance run)."""
+    from .experiments import stackswap
+
+    result = stackswap.run_stackswap(
+        flows=args.flows, duration=args.duration, quick=args.quick
+    )
+    failures = result.failures()
+    if failures:
+        print(result.table())
+        raise SystemExit("stackswap FAILED: " + "; ".join(failures))
+    return result.table() + "\nstackswap OK"
 
 
 def run_list(args: argparse.Namespace) -> str:
@@ -316,6 +335,8 @@ def run_list(args: argparse.Namespace) -> str:
         " export a Chrome trace",
         "  chaos      figure4 workload under a seeded fault plan"
         " (NSM crash/failover, timeouts); --fuzz N for a sweep",
+        "  stackswap  same guest app on TCP vs QUIC NSMs (0-RTT setup"
+        " latency) + hostile-tenant isolation on a shared NSM",
         "  bench      simulator wall-clock benchmarks (datapath, scale)",
         "  all        everything above in sequence",
         "",
@@ -439,6 +460,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "any run crashes")
     add_jobs(chaos)
     chaos.set_defaults(runner=run_chaos)
+
+    stackswap = sub.add_parser(
+        "stackswap",
+        help="swap the stack family under an unchanged guest app (QUIC "
+        "0-RTT vs TCP handshake) and prove per-tenant isolation",
+    )
+    stackswap.add_argument("--quick", action="store_true",
+                           help="CI mode: fewer flows, shorter runs")
+    stackswap.add_argument("--flows", type=int, default=20,
+                           help="measured short flows per stack family")
+    stackswap.add_argument("--duration", type=float, default=0.15,
+                           help="seconds of simulated time per isolation run")
+    stackswap.set_defaults(runner=run_stackswap)
 
     sub.add_parser("all", help="regenerate everything").set_defaults(
         runner=run_all

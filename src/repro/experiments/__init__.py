@@ -37,6 +37,7 @@ from .bench_scale import run_scale_bench
 from .figure4 import Figure4Result, run_figure4
 from .figure5 import Figure5Result, run_figure5
 from .microbench import MicrobenchResult, run_microbench
+from .stackswap import StackSwapResult, run_stackswap
 from .table1 import Table1Result, run_table1
 from .ablation_connscale import ConnScaleResult, run_connscale_ablation
 from .ablation_containers import ContainerResult, run_container_ablation
@@ -71,6 +72,8 @@ __all__ = [
     "run_table1",
     "MicrobenchResult",
     "run_microbench",
+    "StackSwapResult",
+    "run_stackswap",
     "NsmFormResult",
     "run_nsm_form_ablation",
     "PriorityResult",

@@ -4,7 +4,10 @@ Unlike the other experiment modules (which regenerate *paper* numbers),
 this one measures the *host-side* performance of the simulation kernel
 and the NetKernel datapath: wall seconds, simulator events per wall
 second, and peak RSS, across the batched/unbatched × traced/untraced
-matrix on figure4- and figure5-shaped workloads.
+matrix on figure4- and figure5-shaped workloads.  A ``fig4_quic_*`` cell
+runs the same figure4 shape against a QUIC-family NSM
+(``NsmSpec(stack_family="quic")``) so TCP-vs-QUIC datapath events/sec
+can be compared side by side.
 
 The headline number is ``fig4_unbatched_untraced`` — the hot datapath in
 its default configuration.  Two committed references anchor it:
@@ -71,6 +74,7 @@ class BenchConfig:
 
 MATRIX: List[BenchConfig] = [
     BenchConfig("fig4_unbatched_untraced", "figure4", batched=False, traced=False),
+    BenchConfig("fig4_quic_unbatched_untraced", "figure4_quic", batched=False, traced=False),
     BenchConfig("fig4_batched_untraced", "figure4", batched=True, traced=False),
     BenchConfig("fig4_unbatched_traced", "figure4", batched=False, traced=True),
     BenchConfig("fig4_batched_traced", "figure4", batched=True, traced=True),
@@ -93,7 +97,7 @@ def _run_config(config: BenchConfig, quick: bool) -> Dict[str, object]:
     tracer = obs.Tracer() if config.traced else None
     stats: Dict[str, float] = {}
     try:
-        if config.workload == "figure4":
+        if config.workload.startswith("figure4"):
             from .figure4 import measure_lan_throughput
 
             flows, duration = (1, 0.05) if quick else (2, 0.2)
@@ -106,6 +110,9 @@ def _run_config(config: BenchConfig, quick: bool) -> Dict[str, object]:
                 coreengine_config=_coreengine_config(config.batched),
                 tracer=tracer,
                 stats_out=stats,
+                stack_family=(
+                    "quic" if config.workload.endswith("_quic") else "tcp"
+                ),
             )
             wall = time.perf_counter() - started
             unit = "gbps"

@@ -292,6 +292,7 @@ def default_random_plan(
         region_targets=("vm_a.hp", "vm_b.hp"),
         nic_targets=("nsm_a.nic", "nsm_b.nic"),
         ce_targets=("ce_a", "ce_b"),
+        tenant_targets=("vm_a", "vm_b"),
         faults=faults,
         crashes=1,
     )
@@ -352,6 +353,7 @@ def run_chaos(
         injector.register_ring(f"{label}.cq", attachment.completion_queue)
         injector.register_ring(f"{label}.rq", attachment.receive_queue)
         injector.register_region(f"{label}.hp", attachment.region)
+        injector.register_tenant(label, attachment, ce)
     for label, ce, nsm in (("nsm_a", ce_a, nsm_a), ("nsm_b", ce_b, nsm_b)):
         queues = ce.nsm_queues(nsm.nsm_id)
         injector.register_ring(f"{label}.job", queues.job)
@@ -498,11 +500,21 @@ def render_fuzz_sweep(outcomes) -> str:
 
 
 def run_chaos_smoke(seed: int = 7, flows: int = 2) -> ChaosResult:
-    """The CI smoke configuration: one NSM crash mid-transfer, short run."""
+    """The CI smoke configuration: one NSM crash mid-transfer, then a
+    hostile-tenant phase (ring flood + huge-page hoard), short run."""
     from ..faults import Fault
 
     plan = FaultPlan.scripted(
-        [Fault(at=0.12, kind=FaultKind.NSM_CRASH, target="nsm_b")]
+        [
+            Fault(at=0.12, kind=FaultKind.NSM_CRASH, target="nsm_b"),
+            Fault(
+                at=0.22,
+                kind=FaultKind.HOSTILE_TENANT,
+                target="vm_a",
+                duration=0.04,
+                count=8,
+            ),
+        ]
     )
     plan.seed = seed
     return run_chaos(plan, flows=flows, duration=0.3, warmup=0.05)

@@ -73,12 +73,16 @@ def measure_lan_throughput(
     shards: int = 1,
     shard_executor: str = "serial",
     tracers=None,
+    stack_family: str = "tcp",
 ) -> float:
     """Aggregate goodput (Gbps) of ``flows`` bulk flows on the LAN testbed.
 
     ``coreengine_config`` overrides the datapath policy (batching, notify
     mode, ...).  Pass a dict as ``stats_out`` to receive simulator-level
     metrics (``events_processed``) — the bench harness uses this.
+
+    ``stack_family`` picks the NSM's protocol stack (``"tcp"`` default,
+    ``"quic"`` for the tenant-defined QUIC family) — netkernel mode only.
 
     ``shards > 1`` runs the same experiment partitioned per host
     (conservative-lookahead windows over the wire); results are
@@ -96,10 +100,18 @@ def measure_lan_throughput(
 
     if mode == "netkernel":
         nsm_a = testbed.hypervisor_a.boot_nsm(
-            NsmSpec(congestion_control=congestion_control, tcp_overrides=overrides)
+            NsmSpec(
+                congestion_control=congestion_control,
+                tcp_overrides=overrides,
+                stack_family=stack_family,
+            )
         )
         nsm_b = testbed.hypervisor_b.boot_nsm(
-            NsmSpec(congestion_control=congestion_control, tcp_overrides=overrides)
+            NsmSpec(
+                congestion_control=congestion_control,
+                tcp_overrides=overrides,
+                stack_family=stack_family,
+            )
         )
         vm_a = testbed.hypervisor_a.boot_netkernel_vm("client", nsm_a, vcpus=4)
         vm_b = testbed.hypervisor_b.boot_netkernel_vm("server", nsm_b, vcpus=4)

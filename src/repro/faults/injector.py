@@ -15,13 +15,14 @@ Every injection and recovery is appended to ``injected`` / ``recovered``
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..net.link import Link
 from ..net.loss import IIDLoss
 from ..net.nic import NIC
-from ..netkernel.coreengine import CoreEngine
+from ..netkernel.coreengine import CoreEngine, VmAttachment
 from ..netkernel.hugepages import HugeChunk, HugePageRegion
+from ..netkernel.nqe import Nqe, NqeOp
 from ..netkernel.nsm import NSM
 from ..netkernel.queues import NqeRing
 from ..obs import runtime as obs_runtime
@@ -44,7 +45,10 @@ class FaultInjector:
         self._regions: Dict[str, HugePageRegion] = {}
         self._nics: Dict[str, NIC] = {}
         self._links: Dict[str, Link] = {}
+        self._tenants: Dict[str, tuple] = {}
         self._hoarded: Dict[str, HugeChunk] = {}
+        self._tenant_hoards: Dict[str, HugeChunk] = {}
+        self._tenant_stops: Dict[str, dict] = {}
         self._started = False
         #: Time-stamped records of what actually fired / was restored.
         self.injected: List[dict] = []
@@ -69,6 +73,22 @@ class FaultInjector:
     def register_link(self, name: str, link: Link) -> None:
         self._links[name] = link
 
+    def register_tenant(
+        self,
+        name: str,
+        attachment: VmAttachment,
+        coreengine: Optional[CoreEngine] = None,
+    ) -> None:
+        """Register a VM attachment as a HOSTILE_TENANT target.
+
+        ``coreengine`` lets the flood discover one of the tenant's *live*
+        fds from the connection table — valid-fd ops cross CoreEngine and
+        burn ServiceLib CPU on the shared NSM, which is the expensive
+        abuse.  Without it the flood uses a bogus fd, which CoreEngine
+        rejects after only the nqe-copy cost.
+        """
+        self._tenants[name] = (attachment, coreengine)
+
     # -- arming ---------------------------------------------------------------
     def start(self) -> None:
         """Schedule every fault in the plan (idempotent)."""
@@ -89,6 +109,7 @@ class FaultInjector:
             FaultKind.HUGEPAGE_EXHAUST: self._regions,
             FaultKind.NIC_BLACKHOLE: self._nics,
             FaultKind.LINK_LOSS: self._links,
+            FaultKind.HOSTILE_TENANT: self._tenants,
         }[fault.kind]
         try:
             return registry[fault.target]
@@ -131,8 +152,59 @@ class FaultInjector:
             seed = (self.plan.seed or 0) ^ hash(fault.target) & 0xFFFF
             target.loss = IIDLoss(fault.loss_p, seed=seed)
             self.sim.schedule_call(fault.duration, self._restore_link, fault, original)
+        elif fault.kind is FaultKind.HOSTILE_TENANT:
+            attachment, coreengine = target
+            region = attachment.region
+            if region.free_bytes:
+                chunk = region.try_alloc(region.free_bytes)
+                if chunk is not None:
+                    self._tenant_hoards[fault.target] = chunk
+            stop = {"stop": False}
+            self._tenant_stops[fault.target] = stop
+            self.sim.process(
+                self._tenant_flood(fault, attachment, coreengine, stop),
+                name=f"hostile:{fault.target}",
+            )
+            self.sim.schedule_call(fault.duration, self._restore_tenant, fault)
+
+    def _tenant_flood(self, fault: Fault, attachment, coreengine, stop: dict):
+        """The hostile tenant's op storm: valid-fd ops via its own job ring.
+
+        Floods SETSOCKOPT (cheap to issue, but each valid-fd op costs
+        ServiceLib CPU on the shared NSM core).  The fd is re-discovered
+        from the connection table each tick so the storm tracks whatever
+        socket the tenant has open; with no live fd the ops carry a bogus
+        one and die at CoreEngine for just the copy cost.  ``try_push``
+        drops when the tenant's own ring is full — a real abuser cannot
+        enqueue past its ring either.
+        """
+        while not stop["stop"]:
+            fd = 1 << 20
+            if coreengine is not None:
+                conns = coreengine.table.connections_of_vm(attachment.vm_id)
+                if conns:
+                    fd = conns[0][1]
+            for _ in range(fault.count):
+                attachment.job_queue.try_push(
+                    Nqe(
+                        op=NqeOp.SETSOCKOPT,
+                        vm_id=attachment.vm_id,
+                        fd=fd,
+                        args=("congestion_control", "cubic"),
+                    )
+                )
+            yield self.sim.timeout(10e-6)
 
     # -- recovery callbacks ----------------------------------------------------
+    def _restore_tenant(self, fault: Fault) -> None:
+        stop = self._tenant_stops.pop(fault.target, None)
+        if stop is not None:
+            stop["stop"] = True
+        chunk = self._tenant_hoards.pop(fault.target, None)
+        if chunk is not None and not chunk.freed:
+            chunk.free()
+        self._recovered_at(fault, self.sim.now)
+
     def _restore_slowdown(self, fault: Fault) -> None:
         self._lookup(fault).servicelib.set_degraded(1.0)
         self._recovered_at(fault, self.sim.now)

@@ -40,6 +40,11 @@ class FaultKind(enum.Enum):
     #: Replace a link's loss model with iid loss at ``loss_p`` for
     #: ``duration`` (WAN loss burst), then restore the original.
     LINK_LOSS = "link-loss"
+    #: A misbehaving co-tenant: hoards its huge-page region *and* floods
+    #: its job ring with up to ``count`` valid-fd ops every ~10 µs for
+    #: ``duration``.  Proves CoreEngine's per-tenant quotas keep other
+    #: tenants' goodput intact (see ``repro stackswap``).
+    HOSTILE_TENANT = "hostile-tenant"
 
 
 @dataclass(frozen=True)
@@ -79,6 +84,7 @@ _DURATION_KINDS = frozenset(
         FaultKind.HUGEPAGE_EXHAUST,
         FaultKind.NIC_BLACKHOLE,
         FaultKind.LINK_LOSS,
+        FaultKind.HOSTILE_TENANT,
     }
 )
 
@@ -93,6 +99,7 @@ _RANDOM_KINDS: Sequence[FaultKind] = (
     FaultKind.HUGEPAGE_EXHAUST,
     FaultKind.NIC_BLACKHOLE,
     FaultKind.NSM_CRASH,
+    FaultKind.HOSTILE_TENANT,
 )
 
 
@@ -132,6 +139,7 @@ class FaultPlan:
         region_targets: Sequence[str] = (),
         nic_targets: Sequence[str] = (),
         ce_targets: Sequence[str] = (),
+        tenant_targets: Sequence[str] = (),
         faults: int = 6,
         start: float = 0.0,
         crashes: int = 1,
@@ -155,6 +163,7 @@ class FaultPlan:
             or (k is FaultKind.HUGEPAGE_EXHAUST and region_targets)
             or (k is FaultKind.NIC_BLACKHOLE and nic_targets)
             or (k is FaultKind.CE_STALL and ce_targets)
+            or (k is FaultKind.HOSTILE_TENANT and tenant_targets)
             or (k in (FaultKind.NSM_CRASH, FaultKind.NSM_SLOWDOWN) and nsm_targets)
         ]
         if not kinds:
@@ -218,6 +227,16 @@ class FaultPlan:
                         kind=kind,
                         target=rng.choice(list(nic_targets)),
                         duration=min(hold, 0.2 * (duration - start)),
+                    )
+                )
+            elif kind is FaultKind.HOSTILE_TENANT:
+                picked.append(
+                    Fault(
+                        at=at,
+                        kind=kind,
+                        target=rng.choice(list(tenant_targets)),
+                        duration=hold,
+                        count=rng.randint(4, 16),
                     )
                 )
         return cls(faults=picked, seed=seed)

@@ -18,7 +18,7 @@ from .coreengine import CoreEngine, CoreEngineConfig, VmAttachment
 from .guestlib import GUESTLIB_OP_NS, GuestLib
 from .hugepages import CHUNK_SIZE, DEFAULT_PAGES, PAGE_SIZE, HugeChunk, HugePageRegion
 from .nqe import NQE_COPY_NS, NQE_SIZE_BYTES, Nqe, NqeOp, NqeStatus
-from .nsm import NSM, NsmForm, NsmSpec
+from .nsm import NSM, STACK_FAMILIES, NsmForm, NsmSpec, register_stack_family
 from .provision import Hypervisor
 from .qos import DrrScheduler, QosPolicy, TokenBucket
 from .rdma_nsm import DOORBELL_NS, RdmaNsm, TenantRdma
@@ -53,6 +53,8 @@ __all__ = [
     "NSM",
     "NsmForm",
     "NsmSpec",
+    "STACK_FAMILIES",
+    "register_stack_family",
     "Hypervisor",
     "QosPolicy",
     "DrrScheduler",

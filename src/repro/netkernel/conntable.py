@@ -33,6 +33,9 @@ class ConnectionTable:
         # notification order is identical to the old full-table scan.
         self._by_vm: Dict[int, Dict[VmKey, None]] = {}
         self._by_nsm: Dict[int, Dict[NsmKey, None]] = {}
+        #: Which stack family serves each mapping — connections are keyed
+        #: by (tenant, family) now that tenants pick protocol stacks.
+        self._family: Dict[VmKey, str] = {}
 
     def __len__(self) -> int:
         return len(self._vm_to_nsm)
@@ -50,7 +53,9 @@ class ConnectionTable:
         return cid
 
     # -- mapping ---------------------------------------------------------------
-    def insert(self, vm_id: int, fd: int, nsm_id: int, cid: int) -> None:
+    def insert(
+        self, vm_id: int, fd: int, nsm_id: int, cid: int, family: str = "tcp"
+    ) -> None:
         vm_key, nsm_key = (vm_id, fd), (nsm_id, cid)
         if vm_key in self._vm_to_nsm:
             raise KeyError(f"duplicate mapping for VM{vm_id} fd{fd}")
@@ -60,6 +65,11 @@ class ConnectionTable:
         self._nsm_to_vm[nsm_key] = vm_key
         self._by_vm.setdefault(vm_id, {})[vm_key] = None
         self._by_nsm.setdefault(nsm_id, {})[nsm_key] = None
+        self._family[vm_key] = family
+
+    def family_of(self, vm_id: int, fd: int) -> Optional[str]:
+        """The stack family serving this mapping, or None if unmapped."""
+        return self._family.get((vm_id, fd))
 
     def to_nsm(self, vm_id: int, fd: int) -> Optional[NsmKey]:
         return self._vm_to_nsm.get((vm_id, fd))
@@ -88,6 +98,7 @@ class ConnectionTable:
         members = self._by_nsm.get(nsm_key[0])
         if members is not None:
             members.pop(nsm_key, None)
+        self._family.pop(vm_key, None)
 
     def evict_nsm(self, nsm_id: int) -> list[Tuple[VmKey, NsmKey]]:
         """Drop every mapping served by ``nsm_id`` (NSM failover).
@@ -103,8 +114,13 @@ class ConnectionTable:
             pairs.append((vm_key, nsm_key))
         return pairs
 
-    def connections_of_vm(self, vm_id: int) -> list[VmKey]:
-        return list(self._by_vm.get(vm_id, ()))
+    def connections_of_vm(
+        self, vm_id: int, family: Optional[str] = None
+    ) -> list[VmKey]:
+        keys = self._by_vm.get(vm_id, ())
+        if family is None:
+            return list(keys)
+        return [key for key in keys if self._family.get(key) == family]
 
     def connections_of_nsm(self, nsm_id: int) -> list[NsmKey]:
         return list(self._by_nsm.get(nsm_id, ()))

@@ -19,7 +19,7 @@ from typing import Dict, Optional
 from ..api.errors import ConnectionReset
 from ..host.cpu import Core
 from ..obs import runtime as obs_runtime
-from ..sim import NANOS, Simulator
+from ..sim import NANOS, Event, Simulator
 from .batching import (
     CE_PER_BATCH_NS,
     CE_PER_NQE_NS,
@@ -83,6 +83,21 @@ class CoreEngineConfig:
     #: so enabling them perturbs simulated results).
     heartbeat_interval: Optional[float] = None
     heartbeat_miss: int = 3
+    #: Per-tenant isolation: when set, VM job rings are drained by one
+    #: weighted round-robin scheduler instead of a free-running mover per
+    #: ring, and each tenant moves at most ``tenant_quota_nqes × weight``
+    #: nqes per ``tenant_cycle_s`` cycle.  A tenant whose forward blocks
+    #: on a full destination ring is parked and drained asynchronously,
+    #: so its backpressure never stalls the scheduler's round — a flooding
+    #: tenant is rate-capped *and* cannot wedge co-tenants behind its full
+    #: NSM ring.  ``None`` keeps the original per-ring movers and is
+    #: bit-identical to pre-quota behaviour.
+    tenant_quota_nqes: Optional[int] = None
+    #: Quota refill period.  5 µs keeps per-cycle bursts small relative to
+    #: ring capacity while staying coarse enough to amortize scheduling.
+    tenant_cycle_s: float = 5e-6
+    #: Optional per-tenant weight (vm_id -> integer multiplier, default 1).
+    tenant_weights: Optional[Dict[int, int]] = None
 
     @property
     def fault_tolerant(self) -> bool:
@@ -132,6 +147,21 @@ class _NsmQueues:
     servicelib: ServiceLib
 
 
+class _TenantEntry:
+    """One tenant's job ring under the quota scheduler."""
+
+    __slots__ = ("vm_id", "ring", "switch", "weight", "stalled")
+
+    def __init__(self, vm_id: int, ring: NqeRing, switch, weight: int) -> None:
+        self.vm_id = vm_id
+        self.ring = ring
+        self.switch = switch
+        self.weight = weight
+        #: True while an async drainer is finishing a blocked forward;
+        #: the scheduler skips stalled tenants rather than waiting.
+        self.stalled = False
+
+
 class CoreEngine:
     """The hypervisor daemon connecting GuestLibs and ServiceLibs."""
 
@@ -160,6 +190,12 @@ class CoreEngine:
         self._nsm_objects: Dict[int, NSM] = {}
         self._failed_nsms: set = set()
         self._last_heartbeat: Dict[int, float] = {}
+        # --- tenant isolation --------------------------------------------
+        self._tenant_entries: list = []
+        self._tenant_sched_started = False
+        self._tenant_wake: Optional[Event] = None
+        #: Per-vm_id count of nqes moved by the quota scheduler.
+        self.tenant_nqes_moved: Dict[int, int] = {}
         self.tracer = obs_runtime.get_tracer()
         self._traced = self.tracer.enabled
         if self.config.notify_mode is NotifyMode.POLLING:
@@ -255,7 +291,10 @@ class CoreEngine:
         def switch_job(nqe):
             return self._switch_job_nqe(attachment, nqe)
 
-        self._start_mover(job, "job", switch_job, f"{self.name}.job.vm{vm_id}")
+        if self.config.tenant_quota_nqes is not None:
+            self._register_tenant_ring(vm_id, job, switch_job)
+        else:
+            self._start_mover(job, "job", switch_job, f"{self.name}.job.vm{vm_id}")
         return attachment
 
     # ------------------------------------------------------------ mover loops --
@@ -307,7 +346,9 @@ class CoreEngine:
             response.fd = fd
             # ... and independently request a backend socket.
             cid = self.table.allocate_cid(nsm.nsm_id)
-            self.table.insert(vm_id, fd, nsm.nsm_id, cid)
+            self.table.insert(
+                vm_id, fd, nsm.nsm_id, cid, family=nsm.spec.stack_family
+            )
             backend = Nqe(
                 op=NqeOp.SOCKET,
                 vm_id=vm_id,
@@ -397,7 +438,9 @@ class CoreEngine:
             if self.table.to_vm(nsm.nsm_id, child_cid) is not None:
                 return None  # duplicated nqe (ring corruption): drop
             child_fd = self.table.allocate_fd(vm_id)
-            self.table.insert(vm_id, child_fd, nsm.nsm_id, child_cid)
+            self.table.insert(
+                vm_id, child_fd, nsm.nsm_id, child_cid, family=nsm.spec.stack_family
+            )
             nqe.result = child_fd
         ring = attachment.receive_queue
         if ring.is_full:
@@ -548,6 +591,95 @@ class CoreEngine:
     def _switch_traced_slow(self, blocked, started, span):
         yield from blocked
         self._end_switch(started, span)
+
+    # ------------------------------------------------------ tenant isolation --
+    def _register_tenant_ring(self, vm_id: int, ring: NqeRing, switch_nqe) -> None:
+        """Put one VM's job ring under the shared quota scheduler."""
+        weights = self.config.tenant_weights or {}
+        entry = _TenantEntry(vm_id, ring, switch_nqe, max(1, weights.get(vm_id, 1)))
+        self._tenant_entries.append(entry)
+        self.tenant_nqes_moved[vm_id] = 0
+        # Wake an idle scheduler so a tenant attached mid-run is served.
+        wake = self._tenant_wake
+        if wake is not None and not wake.triggered:
+            wake.succeed()
+        if not self._tenant_sched_started:
+            self._tenant_sched_started = True
+            self.sim.process(
+                self._tenant_scheduler(), name=f"{self.name}.tenantsched"
+            )
+
+    def _tenant_scheduler(self):
+        """Weighted round-robin over VM job rings with per-cycle quotas.
+
+        Each cycle every unstalled tenant may move at most
+        ``tenant_quota_nqes × weight`` nqes; each move charges the usual
+        per-nqe copy cost on the CoreEngine core.  When a forward blocks
+        (destination ring full), the tenant is parked — its remaining
+        burst finishes in an async drainer and the scheduler moves on
+        immediately, so one tenant's backpressure cannot hold the round
+        hostage.  Idle cycles block on the rings' doorbells instead of
+        spinning.
+        """
+        quota = self.config.tenant_quota_nqes
+        cycle = self.config.tenant_cycle_s
+        copy_cost = self.config.nqe_copy_ns * NANOS
+        execute = self.core.execute
+        while True:
+            moved = 0
+            for entry in list(self._tenant_entries):
+                if entry.stalled:
+                    continue
+                batch = entry.ring.pop_batch(quota * entry.weight)
+                for i, nqe in enumerate(batch):
+                    self.nqes_copied += 1
+                    self.tenant_nqes_moved[entry.vm_id] += 1
+                    moved += 1
+                    yield execute(copy_cost)
+                    blocked = entry.switch(nqe)
+                    if blocked is not None:
+                        entry.stalled = True
+                        self.sim.process(
+                            self._drain_stalled(entry, blocked, batch[i + 1:]),
+                            name=f"{self.name}.tenantstall.vm{entry.vm_id}",
+                        )
+                        break
+            if moved:
+                yield self.sim.timeout(cycle)
+                continue
+            waiters = [
+                entry.ring.wait_nonempty()
+                for entry in self._tenant_entries
+                if not entry.stalled
+            ]
+            if not waiters:
+                # Everyone is parked behind backpressure; poll for unpark.
+                yield self.sim.timeout(cycle)
+                continue
+            self._tenant_wake = Event(self.sim)
+            waiters.append(self._tenant_wake)
+            yield self.sim.any_of(waiters)
+            self._tenant_wake = None
+
+    def _drain_stalled(self, entry: _TenantEntry, blocked, rest):
+        """Finish a parked tenant's blocked forward plus its popped burst.
+
+        The burst was already popped from the ring, so it must be
+        forwarded here (in order) rather than dropped; each nqe still
+        charges the copy cost and counts against the tenant's totals.
+        The tenant stays stalled — invisible to the scheduler — until the
+        whole burst has landed.
+        """
+        copy_cost = self.config.nqe_copy_ns * NANOS
+        yield from blocked
+        for nqe in rest:
+            self.nqes_copied += 1
+            self.tenant_nqes_moved[entry.vm_id] += 1
+            yield self.core.execute(copy_cost)
+            again = entry.switch(nqe)
+            if again is not None:
+                yield from again
+        entry.stalled = False
 
     # --------------------------------------------------- heartbeats / failover --
     def _heartbeat_loop(self, nsm: NSM, queues: _NsmQueues):

@@ -19,8 +19,9 @@ the Intel X710 (§4.1), running a ported Linux 4.9 TCP/IP stack.
 from __future__ import annotations
 
 import enum
+import importlib
 from itertools import count
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..host.cpu import Core
 from ..host.machine import PhysicalHost
@@ -30,9 +31,68 @@ from ..tcp import StackConfig, TcpStack
 from .arbiter import FastpassArbiter
 from .qos import QosPolicy
 
-__all__ = ["NsmForm", "NsmSpec", "NSM"]
+__all__ = [
+    "NsmForm",
+    "NsmSpec",
+    "NSM",
+    "STACK_FAMILIES",
+    "register_stack_family",
+]
 
 _nsm_ids = count(1)
+
+#: Stack-family registry: family name -> builder(sim, nsm, spec) -> stack.
+#: "Stack as a service" means the family is a provisioning knob like the
+#: CC algorithm; tenants pick a family per NsmSpec and the NSM builds the
+#: matching protocol stack behind the unchanged GuestLib/SocketApi
+#: surface.  Families outside this module (repro.quic) self-register on
+#: import; unknown names are resolved by importing ``repro.<family>``.
+STACK_FAMILIES: Dict[str, Callable[[Simulator, "NSM", "NsmSpec"], object]] = {}
+
+
+def register_stack_family(
+    name: str, builder: Callable[[Simulator, "NSM", "NsmSpec"], object]
+) -> None:
+    """Register a protocol-stack family for NSMs to host."""
+    if not name or name in STACK_FAMILIES:
+        raise ValueError(f"bad or duplicate stack family: {name!r}")
+    STACK_FAMILIES[name] = builder
+
+
+def _resolve_family(name: str) -> Callable[[Simulator, "NSM", "NsmSpec"], object]:
+    builder = STACK_FAMILIES.get(name)
+    if builder is None:
+        # Families self-register when their package is imported.
+        try:
+            importlib.import_module(f"repro.{name}")
+        except ImportError:
+            pass
+        builder = STACK_FAMILIES.get(name)
+    if builder is None:
+        raise KeyError(
+            f"unknown stack family {name!r}; available: {sorted(STACK_FAMILIES)}"
+        )
+    return builder
+
+
+def _build_tcp_stack(sim: Simulator, nsm: "NSM", spec: "NsmSpec") -> TcpStack:
+    config = spec.stack_config or StackConfig(
+        congestion_control=spec.congestion_control,
+        # The NSM stack's per-byte protocol cost; the delivery copy into
+        # huge pages is charged separately by ServiceLib, so the per-core
+        # total matches a native stack's protocol + copy_to_user cost.
+        per_segment_ns=1500.0 * spec.form.cpu_multiplier,
+        per_byte_ns=0.06,
+    )
+    if spec.tcp_overrides:
+        for key, value in spec.tcp_overrides.items():
+            setattr(config.tcp, key, value)
+    return TcpStack(
+        sim, nsm.nic, cores=nsm.cores, config=config, name=f"{nsm.name}.stack"
+    )
+
+
+register_stack_family("tcp", _build_tcp_stack)
 
 
 class NsmForm(enum.Enum):
@@ -78,11 +138,14 @@ class NsmSpec:
         qos: Optional["QosPolicy"] = None,
         arbiter: Optional["FastpassArbiter"] = None,
         servicelib_workers: int = 1,
+        stack_family: str = "tcp",
     ) -> None:
         if cores < 1:
             raise ValueError("an NSM needs at least one core")
         if max_tenants < 1:
             raise ValueError("max_tenants must be >= 1")
+        #: Which protocol-stack family this NSM hosts (see STACK_FAMILIES).
+        self.stack_family = stack_family
         self.congestion_control = congestion_control
         self.form = form
         self.cores = cores
@@ -135,20 +198,7 @@ class NSM:
         else:
             self.nic = host.create_vnic(f"{self.name}.vnic")
 
-        config = spec.stack_config or StackConfig(
-            congestion_control=spec.congestion_control,
-            # The NSM stack's per-byte protocol cost; the delivery copy into
-            # huge pages is charged separately by ServiceLib, so the per-core
-            # total matches a native stack's protocol + copy_to_user cost.
-            per_segment_ns=1500.0 * spec.form.cpu_multiplier,
-            per_byte_ns=0.06,
-        )
-        if spec.tcp_overrides:
-            for key, value in spec.tcp_overrides.items():
-                setattr(config.tcp, key, value)
-        self.stack = TcpStack(
-            sim, self.nic, cores=self.cores, config=config, name=f"{self.name}.stack"
-        )
+        self.stack = _resolve_family(spec.stack_family)(sim, self, spec)
         self.stack.arbiter = spec.arbiter
         #: Attached by CoreEngine at setup.
         self.servicelib = None

@@ -123,11 +123,18 @@ class Hypervisor:
         except RuntimeError:
             return None
 
-    def find_shared_nsm(self, congestion_control: str) -> Optional[NSM]:
-        """An existing NSM with capacity offering this stack (multiplexing)."""
+    def find_shared_nsm(
+        self, congestion_control: str, stack_family: str = "tcp"
+    ) -> Optional[NSM]:
+        """An existing NSM with capacity offering this stack (multiplexing).
+
+        A tenant shares an NSM only when *both* the protocol family and
+        the CC algorithm match — a QUIC tenant never lands on a TCP NSM.
+        """
         for nsm in self.nsms:
             if (
                 nsm.spec.congestion_control == congestion_control
+                and nsm.spec.stack_family == stack_family
                 and nsm.can_accept_tenant()
             ):
                 return nsm

@@ -15,11 +15,11 @@ from functools import partial
 from typing import Callable, Dict, Optional
 
 from ..api.errors import SocketError
+from .. import cc as cc_base  # the family-neutral registry shim
 from ..net import Endpoint
 from ..obs import runtime as obs_runtime
 from ..sim import NANOS, Simulator
 from ..tcp import Listener, TcpConnection
-from ..tcp.cc import base as cc_base
 from .batching import BatchPolicy
 from .hugepages import HugePageRegion
 from .nqe import Nqe, NqeOp, NqeStatus
@@ -405,10 +405,16 @@ class ServiceLib:
     def _op_connect(self, nqe: Nqe) -> None:
         backend = self._backend(nqe)
         remote: Endpoint = nqe.args
+        kwargs = {}
+        if getattr(self.nsm.stack, "wants_tenant", False):
+            # Tenant-defined stacks (repro.quic) key per-tenant state —
+            # 0-RTT resumption tickets, connection reuse — off the VM id.
+            kwargs["tenant"] = nqe.vm_id
         conn = self.nsm.stack.connect(
             remote,
             congestion_control=backend.cc_name,
             local_port=backend.bound_port,
+            **kwargs,
         )
         backend.conn = conn
 

@@ -1,0 +1,54 @@
+"""A QUIC-like userspace stack family for tenant-defined NSMs.
+
+The paper's thesis is that the network stack is a *service* the
+provider runs for the guest; Chamelio/FlexiNS push that to
+tenant-defined protocols.  This package is the repo's second stack
+family: stream multiplexing over one connection, connection-id routing
+that survives 4-tuple changes, a 1-RTT handshake with tenant-keyed
+0-RTT resumption, ACK/loss recovery, and congestion control from the
+shared :mod:`repro.cc` registry.
+
+Importing the package registers the ``"quic"`` family with
+:mod:`repro.netkernel.nsm`, so ``NsmSpec(stack_family="quic")`` is all
+a tenant changes — GuestLib, SocketApi, and the guest application are
+untouched (see ``repro stackswap``).
+"""
+
+from ..netkernel.nsm import NSM, NsmSpec, register_stack_family
+from ..sim import Simulator
+from .connection import QuicConnection
+from .packet import QuicPacket, QuicPacketType, StreamFrame
+from .stack import QuicConfig, QuicListener, QuicStack, QuicStackStats
+from .stream import QuicStream
+
+__all__ = [
+    "QuicConfig",
+    "QuicStack",
+    "QuicStackStats",
+    "QuicListener",
+    "QuicConnection",
+    "QuicStream",
+    "QuicPacket",
+    "QuicPacketType",
+    "StreamFrame",
+]
+
+
+def _build_quic_stack(sim: Simulator, nsm: NSM, spec: NsmSpec) -> QuicStack:
+    """NSM builder for the "quic" family.
+
+    Cost constants match the TCP NSM builder (1500 ns × form multiplier
+    per packet, 0.06 ns per byte) so a family swap compares protocol
+    behaviour, not an accounting artifact.
+    """
+    config = QuicConfig(
+        congestion_control=spec.congestion_control,
+        per_packet_ns=1500.0 * spec.form.cpu_multiplier,
+        per_byte_ns=0.06,
+    )
+    return QuicStack(
+        sim, nsm.nic, cores=nsm.cores, config=config, name=f"{nsm.name}.stack"
+    )
+
+
+register_stack_family("quic", _build_quic_stack)

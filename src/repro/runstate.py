@@ -27,6 +27,7 @@ def reset_run_ids() -> None:
     """Rewind all module-level id allocators to their boot state."""
     from .net import packet
     from .netkernel import hugepages, nqe, nsm, rdma_nsm
+    from .quic import stack as quic_stack
     from .rdma import transport, verbs
 
     packet._packet_ids = count(1)
@@ -36,3 +37,5 @@ def reset_run_ids() -> None:
     rdma_nsm._rdma_nsm_ids = count(1)
     transport._msg_ids = count(1)
     verbs._wr_ids = count(1)
+    quic_stack._cid_ids = count(1)
+    quic_stack._ticket_ids = count(1)

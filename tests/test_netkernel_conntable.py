@@ -70,6 +70,36 @@ def test_cid_allocation_per_nsm():
     assert table.allocate_cid(9) == 1
 
 
+def test_family_defaults_to_tcp_and_is_queryable():
+    table = ConnectionTable()
+    table.insert(1, 3, 7, 100)
+    table.insert(1, 4, 8, 200, family="quic")
+    assert table.family_of(1, 3) == "tcp"
+    assert table.family_of(1, 4) == "quic"
+    assert table.family_of(1, 99) is None
+
+
+def test_connections_of_vm_filters_by_family():
+    table = ConnectionTable()
+    table.insert(1, 3, 7, 100)
+    table.insert(1, 4, 8, 200, family="quic")
+    table.insert(1, 5, 8, 201, family="quic")
+    assert sorted(table.connections_of_vm(1)) == [(1, 3), (1, 4), (1, 5)]
+    assert sorted(table.connections_of_vm(1, family="quic")) == [(1, 4), (1, 5)]
+    assert table.connections_of_vm(1, family="tcp") == [(1, 3)]
+
+
+def test_removal_drops_the_family_mapping():
+    table = ConnectionTable()
+    table.insert(1, 3, 7, 100, family="quic")
+    table.remove_by_vm(1, 3)
+    assert table.family_of(1, 3) is None
+    table.insert(2, 3, 7, 101, family="quic")
+    table.remove_by_nsm(7, 101)
+    assert table.family_of(2, 3) is None
+    assert table._family == {}
+
+
 def test_connections_of_vm_and_nsm():
     table = ConnectionTable()
     table.insert(1, 3, 7, 100)
