@@ -65,6 +65,15 @@ def _shards(args: argparse.Namespace) -> int:
     return max(1, getattr(args, "shards", 1) or 1)
 
 
+def _shard_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    """Partition/executor knobs shared by figure4/figure5/trace."""
+    return {
+        "shard_plan": getattr(args, "shard_plan", "host") or "host",
+        "ring_latency": getattr(args, "ring_latency", None),
+        "adaptive": bool(getattr(args, "adaptive", False)),
+    }
+
+
 def _pool(args: argparse.Namespace) -> str:
     return getattr(args, "pool", "fork") or "fork"
 
@@ -78,6 +87,8 @@ def run_figure4(args: argparse.Namespace) -> str:
         jobs=_jobs(args),
         shards=_shards(args),
         pool=_pool(args),
+        shard_executor=getattr(args, "shard_executor", "serial") or "serial",
+        **_shard_kwargs(args),
     ).table()
 
 
@@ -90,6 +101,7 @@ def run_figure5(args: argparse.Namespace) -> str:
         jobs=_jobs(args),
         shards=_shards(args),
         pool=_pool(args),
+        **_shard_kwargs(args),
     ).table()
 
 
@@ -161,7 +173,10 @@ def run_bench(args: argparse.Namespace) -> str:
         from .experiments import bench_datapath
 
         result = bench_datapath.run_bench(
-            quick=args.quick, repeats=args.repeats, jobs=_jobs(args)
+            quick=args.quick,
+            repeats=args.repeats,
+            jobs=_jobs(args),
+            shards=_shards(args),
         )
         render = bench_datapath.render
         out = args.out if args.out is not None else "BENCH_datapath.json"
@@ -194,6 +209,7 @@ def run_trace(args: argparse.Namespace) -> str:
         {"tracer": tracers[0]} if shards == 1 else
         {"tracers": tracers, "shards": shards}
     )
+    trace_kwargs.update(_shard_kwargs(args))
     try:
         if args.experiment == "figure4":
             from .experiments.figure4 import measure_lan_throughput
@@ -374,13 +390,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_shards(p: argparse.ArgumentParser, default: int = 1) -> None:
         p.add_argument("--shards", type=int, default=default, metavar="N",
-                       help="split each simulation across N per-host shards "
+                       help="split each simulation across N shards "
                             "(conservative-lookahead windows; simulated "
                             "metrics bit-identical to --shards 1)")
+        p.add_argument("--shard-plan", choices=["host", "plane", "auto"],
+                       default="host", dest="shard_plan",
+                       help="partition plan: whole hosts over wire cuts "
+                            "(host), intra-host guest/provider cut at the "
+                            "nqe ring hop (plane), or lowest estimated "
+                            "cost (auto)")
+        p.add_argument("--ring-latency", type=float, default=None,
+                       metavar="SECONDS", dest="ring_latency",
+                       help="nqe ring hop crossing latency — the intra-host "
+                            "cut's lookahead floor (default 40e-6)")
+        p.add_argument("--adaptive", action="store_true",
+                       help="per-shard adaptive lookahead windows (fewer "
+                            "barriers when cut channels are idle; metrics "
+                            "still bit-identical)")
 
     fig4 = sub.add_parser("figure4", help="Figure 4")
     fig4.add_argument("--duration", type=float, default=0.35,
                       help="seconds of simulated time per point")
+    fig4.add_argument("--shard-executor", choices=["serial", "thread", "process"],
+                      default="serial", dest="shard_executor",
+                      help="how sharded points execute: in-process windows "
+                           "(serial/thread) or one forked worker per shard "
+                           "(process)")
     add_jobs(fig4)
     add_shards(fig4)
     fig4.set_defaults(runner=run_figure4)

@@ -10,7 +10,7 @@ Two environments appear in §4:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
 from ..host import PhysicalHost
@@ -25,7 +25,13 @@ from ..net import (
 from ..netkernel import CoreEngineConfig, Hypervisor
 from ..obs import runtime as obs_runtime
 from ..obs.spans import Tracer
-from ..sim import ShardedSimulation, Simulator, shard_for_host
+from ..sim import (
+    PartitionPlan,
+    ShardedSimulation,
+    Simulator,
+    plan_partition,
+    shard_for_host,
+)
 
 
 def _trace_sim(tracer: Optional[Tracer]) -> Simulator:
@@ -74,6 +80,55 @@ def _check_shard_args(
         )
     if tracers is not None and len(tracers) != shards:
         raise ValueError(f"need exactly {shards} tracers, got {len(tracers)}")
+
+
+def _plan_hop_config(
+    plan: PartitionPlan, coreengine_config: Optional[CoreEngineConfig]
+) -> Optional[CoreEngineConfig]:
+    """Thread the plan's ring-hop floor into the CoreEngine config."""
+    if plan.ring_latency is None:
+        return coreengine_config
+    return replace(
+        coreengine_config or CoreEngineConfig(),
+        ring_hop_latency=plan.ring_latency,
+    )
+
+
+def _attach_guest_planes(
+    plan: PartitionPlan,
+    sharded: Optional[ShardedSimulation],
+    tracers: Optional[Sequence[Tracer]],
+    hypervisors: Sequence[Hypervisor],
+) -> List[Optional[Simulator]]:
+    """Wire each split host's tenant plane onto its planned shard.
+
+    Returns per-host guest simulators (``None`` for unsplit hosts, and
+    everywhere when the plan needs no hops).  With ``sharded`` absent
+    (``shards=1`` with a hop floor — the bit-identity baseline) the
+    hypervisors keep hopping on their own simulator, so nothing to wire.
+    """
+    guest_sims: List[Optional[Simulator]] = [None] * len(hypervisors)
+    if plan.ring_latency is None or sharded is None:
+        return guest_sims
+    for host_index, hypervisor in enumerate(hypervisors):
+        if (host_index, "guest") not in plan.assignment:
+            continue
+        guest_shard = plan.shard_of(host_index, "guest")
+        provider_shard = plan.shard_of(host_index, "provider")
+        guest_sim = sharded.sims[guest_shard]
+        guest_tracer = tracers[guest_shard] if tracers is not None else None
+        if guest_tracer is not None:
+            guest_tracer.attach(guest_sim)
+        hypervisor.attach_guest_plane(
+            guest_sim,
+            guest_shard=guest_shard,
+            provider_shard=provider_shard,
+            sharded=sharded,
+            guest_tracer=guest_tracer,
+        )
+        guest_sims[host_index] = guest_sim
+    return guest_sims
+
 
 __all__ = [
     "LanTestbed",
@@ -144,16 +199,23 @@ class LanTestbed(_RunnableTestbed):
     #: Set when built with ``shards > 1``; drive the run through
     #: :meth:`run` so either form executes correctly.
     sharded: Optional[ShardedSimulation] = None
+    #: The partition plan the build followed (always set).
+    plan: Optional[PartitionPlan] = None
+    #: Tenant-plane simulators when an intra-host cut split them off
+    #: their host's simulator; apps (senders/receivers using GuestLib)
+    #: must be built on these — which ``sim_a``/``sim_b`` hand out.
+    guest_sim_a: Optional[Simulator] = None
+    guest_sim_b: Optional[Simulator] = None
 
     @property
     def sim_a(self) -> Simulator:
-        """Host A's simulator (== ``sim`` when unsharded)."""
-        return self.host_a.sim
+        """Host A's tenant-facing simulator (== ``sim`` when unsharded)."""
+        return self.guest_sim_a or self.host_a.sim
 
     @property
     def sim_b(self) -> Simulator:
-        """Host B's simulator (== ``sim`` when unsharded)."""
-        return self.host_b.sim
+        """Host B's tenant-facing simulator (== ``sim`` when unsharded)."""
+        return self.guest_sim_b or self.host_b.sim
 
 
 def make_lan_testbed(
@@ -165,18 +227,30 @@ def make_lan_testbed(
     tracer: Optional[Tracer] = None,
     shards: int = 1,
     tracers: Optional[Sequence[Tracer]] = None,
+    shard_plan: str = "host",
+    ring_latency: Optional[float] = None,
 ) -> LanTestbed:
     """Two back-to-back hosts, as in the prototype testbed (§4.1).
 
-    ``shards > 1`` builds the same topology partitioned per host (host A
-    on shard 0, host B on shard 1; extra shards idle) with the wire as
-    the cut link — see :mod:`repro.sim.sharded`.  Simulated metrics are
-    bit-identical to the unsharded build.
+    ``shards > 1`` builds the same topology partitioned per the plan —
+    see :mod:`repro.sim.partition`.  ``shard_plan="host"`` is the legacy
+    per-host split (wire as the only cut); ``"plane"`` forces an
+    intra-host cut at the nqe ring hop (guest planes and provider planes
+    on different shards, wire intra-shard, lookahead = the ring floor);
+    ``"auto"`` picks by estimated cost.  Empty shards collapse at plan
+    time, so ``shards=4`` here may build fewer.  Simulated metrics are
+    bit-identical to the unsharded build for every plan and executor.
+
+    ``ring_latency`` overrides the hop floor; with ``shard_plan="plane"``
+    and ``shards=1`` the build still hops (on one heap) — that is the
+    baseline the sharded plane runs are bit-identical to.
     """
     _check_shard_args(shards, tracer, tracers)
-    if shards > 1:
-        sharded = ShardedSimulation(shards)
-        shard_a, shard_b = shard_for_host(0, shards), shard_for_host(1, shards)
+    plan = plan_partition(2, shards, mode=shard_plan, ring_latency=ring_latency)
+    coreengine_config = _plan_hop_config(plan, coreengine_config)
+    if plan.shards > 1:
+        sharded = ShardedSimulation(plan.shards)
+        shard_a, shard_b = plan.shard_of(0), plan.shard_of(1)
         sim_a = _enter_shard(sharded, shard_a, tracers)
         host_a = PhysicalHost(
             sim_a, "hostA", "10.1.255.1", sriov=sriov,
@@ -201,6 +275,9 @@ def make_lan_testbed(
         host_b.pnic.wire = wire.b_to_a.send
         wire.attach(host_a.pnic.wire_receive, host_b.pnic.wire_receive)
         sharded.cut_duplex(wire, shard_a, shard_b)
+        guest_sims = _attach_guest_planes(
+            plan, sharded, tracers, (hypervisor_a, hypervisor_b)
+        )
         return LanTestbed(
             sim=sim_a,
             host_a=host_a,
@@ -209,6 +286,9 @@ def make_lan_testbed(
             hypervisor_b=hypervisor_b,
             wire=wire,
             sharded=sharded,
+            plan=plan,
+            guest_sim_a=guest_sims[0],
+            guest_sim_b=guest_sims[1],
         )
     sim = _trace_sim(tracer)
     host_a = PhysicalHost(
@@ -234,6 +314,7 @@ def make_lan_testbed(
         hypervisor_a=Hypervisor(sim, host_a, coreengine_config),
         hypervisor_b=Hypervisor(sim, host_b, coreengine_config),
         wire=wire,
+        plan=plan,
     )
 
 
@@ -246,10 +327,14 @@ class WanTestbed(_RunnableTestbed):
     client_hypervisor: Hypervisor
     wire: DuplexLink
     sharded: Optional[ShardedSimulation] = None
+    plan: Optional[PartitionPlan] = None
+    #: Server tenant-plane simulator when the plan cut the server host
+    #: intra-host (the client is legacy in figure 5 — never split).
+    guest_server_sim: Optional[Simulator] = None
 
     @property
     def server_sim(self) -> Simulator:
-        return self.server_host.sim
+        return self.guest_server_sim or self.server_host.sim
 
     @property
     def client_sim(self) -> Simulator:
@@ -267,23 +352,36 @@ def make_wan_testbed(
     tracer: Optional[Tracer] = None,
     shards: int = 1,
     tracers: Optional[Sequence[Tracer]] = None,
+    shard_plan: str = "host",
+    ring_latency: Optional[float] = None,
+    server_splittable: bool = True,
 ) -> WanTestbed:
     """Figure 5's path: datacenter server -> transpacific WAN -> client.
 
     Loss applies on the server's uplink direction (where the data flows);
     the reverse (ACK) direction is clean — asymmetric, like the real path.
 
-    ``shards > 1`` puts the server on shard 0 and the client on shard 1
-    with the WAN wire cut; its rtt/2 propagation gives the sharded run a
-    huge lookahead (175 ms), the best case for windowed execution.
+    ``shards > 1`` partitions per the plan.  The legacy ``"host"`` plan
+    puts the server on shard 0 and the client on shard 1 with the WAN
+    wire cut (175 ms lookahead — the best case for windowed execution).
+    ``"plane"`` cuts the *server host* at its nqe rings instead: guest
+    plane off-shard, provider plane co-located with the client and wire.
+    ``server_splittable=False`` (legacy server) forbids the plane cut.
     """
     _check_shard_args(shards, tracer, tracers)
+    plan = plan_partition(
+        2, shards, mode=shard_plan,
+        splittable=(server_splittable, False),
+        ring_latency=ring_latency,
+        wire_delay=rtt / 2.0,
+    )
+    coreengine_config = _plan_hop_config(plan, coreengine_config)
     # No TSO super-segments on the WAN path: at 12 Mbps, Linux's TSO
     # autosizing degenerates to MTU-sized frames anyway.
     wan_offload = OffloadConfig(tso=False)
-    if shards > 1:
-        sharded = ShardedSimulation(shards)
-        shard_s, shard_c = shard_for_host(0, shards), shard_for_host(1, shards)
+    if plan.shards > 1:
+        sharded = ShardedSimulation(plan.shards)
+        shard_s, shard_c = plan.shard_of(0), plan.shard_of(1)
         sim_s = _enter_shard(sharded, shard_s, tracers)
         server = PhysicalHost(
             sim_s, "beijing", "10.1.255.1",
@@ -310,6 +408,9 @@ def make_wan_testbed(
         client.pnic.wire = wire.b_to_a.send
         wire.attach(server.pnic.wire_receive, client.pnic.wire_receive)
         sharded.cut_duplex(wire, shard_s, shard_c)
+        guest_sims = _attach_guest_planes(
+            plan, sharded, tracers, (server_hv, client_hv)
+        )
         return WanTestbed(
             sim=sim_s,
             server_host=server,
@@ -318,6 +419,8 @@ def make_wan_testbed(
             client_hypervisor=client_hv,
             wire=wire,
             sharded=sharded,
+            plan=plan,
+            guest_server_sim=guest_sims[0],
         )
     sim = _trace_sim(tracer)
     server = PhysicalHost(
@@ -353,6 +456,7 @@ def make_wan_testbed(
         server_hypervisor=Hypervisor(sim, server, coreengine_config),
         client_hypervisor=Hypervisor(sim, client, coreengine_config),
         wire=wire,
+        plan=plan,
     )
 
 
@@ -388,6 +492,9 @@ def make_cluster_testbed(
     if n_hosts < 2:
         raise ValueError("a cluster needs at least 2 hosts")
     _check_shard_args(shards, tracer, tracers)
+    # Empty-shard collapse: more shards than hosts would leave ghost
+    # heaps that still pay every window barrier.
+    shards = min(shards, n_hosts)
     if shards > 1:
         sharded = ShardedSimulation(shards)
         core_sim = _enter_shard(sharded, 0, tracers)

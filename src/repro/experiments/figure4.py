@@ -10,10 +10,11 @@ throughput saturates the 40 GbE wire from two flows on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..apps import BulkReceiver, BulkSender
 from ..netkernel import NsmSpec
+from ..sim import plan_partition
 from .common import FIG4_SOCKET_BUF, LAN_LINE_RATE_GBPS, make_lan_testbed
 
 __all__ = ["Figure4Row", "Figure4Result", "run_figure4", "measure_lan_throughput"]
@@ -60,41 +61,41 @@ class Figure4Result:
         return "\n".join(lines)
 
 
-def measure_lan_throughput(
+class _LanWorld:
+    """The figure-4 workload plus everything needed to run/collect it."""
+
+    __slots__ = ("testbed", "sharded", "receivers", "duration")
+
+
+def _build_lan_world(
     mode: str,
     flows: int,
     congestion_control: str = "cubic",
     duration: float = 0.35,
     warmup: float = 0.1,
     socket_buf: int = FIG4_SOCKET_BUF,
+    shards: int = 1,
+    shard_plan: str = "host",
+    ring_latency: Optional[float] = None,
+    stack_family: str = "tcp",
     coreengine_config=None,
     tracer=None,
-    stats_out=None,
-    shards: int = 1,
-    shard_executor: str = "serial",
     tracers=None,
-    stack_family: str = "tcp",
-) -> float:
-    """Aggregate goodput (Gbps) of ``flows`` bulk flows on the LAN testbed.
-
-    ``coreengine_config`` overrides the datapath policy (batching, notify
-    mode, ...).  Pass a dict as ``stats_out`` to receive simulator-level
-    metrics (``events_processed``) — the bench harness uses this.
-
-    ``stack_family`` picks the NSM's protocol stack (``"tcp"`` default,
-    ``"quic"`` for the tenant-defined QUIC family) — netkernel mode only.
-
-    ``shards > 1`` runs the same experiment partitioned per host
-    (conservative-lookahead windows over the wire); results are
-    bit-identical to ``shards=1`` — pinned by tests/test_sim_sharded.py.
-    """
+) -> _LanWorld:
+    """Build the figure-4 workload (module-level: shard workers call it)."""
     if mode not in ("native", "netkernel"):
         raise ValueError(f"mode must be 'native' or 'netkernel', got {mode!r}")
+    # Legacy VMs have no nqe rings — nothing to cut intra-host.  Native
+    # points fall back to the whole-host plan (mirrors figure 5).
+    if mode != "netkernel" and shard_plan != "host":
+        shard_plan = "host"
     testbed = make_lan_testbed(
         coreengine_config=coreengine_config,
         tracer=tracer,
         shards=shards,
         tracers=tracers,
+        shard_plan=shard_plan,
+        ring_latency=ring_latency,
     )
     overrides = {"rcvbuf": socket_buf, "sndbuf": socket_buf}
 
@@ -129,19 +130,133 @@ def measure_lan_throughput(
             tcp_overrides=overrides,
         )
 
-    receivers = []
+    world = _LanWorld()
+    world.testbed = testbed
+    world.sharded = testbed.sharded
+    world.duration = duration
+    world.receivers = []
+    # With ring hops on, the receiver's socket/bind/listen control path
+    # costs three hop round trips before the listener is live; with
+    # synchronous rings that race resolves at t~0, ahead of the 5 us
+    # wire, but a hopped SYN would beat the LISTEN and take an RST.
+    # Stagger the senders past the control phase — ``warmup`` already
+    # keeps the start-up transient out of the metered window.
+    sender_delay = 0.0
+    hop = testbed.plan.ring_latency if testbed.plan is not None else None
+    if hop is not None:
+        sender_delay = 25 * hop
     for i in range(flows):
         port = 5000 + i
-        receivers.append(BulkReceiver(testbed.sim_b, vm_b.api, port, warmup=warmup))
-        BulkSender(testbed.sim_a, vm_a.api, remote_for(vm_b, port))
+        world.receivers.append(
+            BulkReceiver(testbed.sim_b, vm_b.api, port, warmup=warmup)
+        )
+        BulkSender(
+            testbed.sim_a, vm_a.api, remote_for(vm_b, port),
+            start_delay=sender_delay,
+        )
+    return world
+
+
+def _collect_lan_world(world: _LanWorld, shard: int):
+    """Per-shard result extraction for the process executor: the shard
+    owning host B's tenant plane holds the receivers (and their meters);
+    everyone else has nothing to report."""
+    if shard == world.testbed.plan.shard_of(1, "guest"):
+        return sum(rx.meter.bps(until=world.duration) for rx in world.receivers)
+    return None
+
+
+def measure_lan_throughput(
+    mode: str,
+    flows: int,
+    congestion_control: str = "cubic",
+    duration: float = 0.35,
+    warmup: float = 0.1,
+    socket_buf: int = FIG4_SOCKET_BUF,
+    coreengine_config=None,
+    tracer=None,
+    stats_out=None,
+    shards: int = 1,
+    shard_executor: str = "serial",
+    tracers=None,
+    stack_family: str = "tcp",
+    shard_plan: str = "host",
+    ring_latency: Optional[float] = None,
+    adaptive: bool = False,
+) -> float:
+    """Aggregate goodput (Gbps) of ``flows`` bulk flows on the LAN testbed.
+
+    ``coreengine_config`` overrides the datapath policy (batching, notify
+    mode, ...).  Pass a dict as ``stats_out`` to receive simulator-level
+    metrics (``events_processed`` plus, when sharded, the window/barrier
+    efficiency counters) — the bench harness uses this.
+
+    ``stack_family`` picks the NSM's protocol stack (``"tcp"`` default,
+    ``"quic"`` for the tenant-defined QUIC family) — netkernel mode only.
+
+    ``shards > 1`` runs the same experiment partitioned per the plan
+    (``shard_plan`` — ``"host"``/``"plane"``/``"auto"``, see
+    :mod:`repro.sim.partition`); results are bit-identical to
+    ``shards=1`` — pinned by tests/test_sim_sharded.py.
+    ``shard_executor="process"`` forks one worker per shard
+    (:func:`repro.parallel.run_sharded_process`); ``adaptive`` widens
+    per-shard lookahead windows when cut channels are quiet.
+    """
+    if mode != "netkernel" and shard_plan != "host":
+        shard_plan = "host"  # no rings to cut in a legacy VM
+    if shard_executor == "process":
+        if tracer is not None or tracers is not None:
+            raise ValueError(
+                "tracing is per-process; the forked shard executor "
+                "cannot ship spans back — use serial/thread executors"
+            )
+        plan = plan_partition(2, shards, mode=shard_plan, ring_latency=ring_latency)
+        if plan.shards < 2:
+            raise ValueError(
+                "shard_executor='process' needs a plan with >= 2 shards "
+                f"(got {plan.shards} from shards={shards}, plan={shard_plan!r})"
+            )
+        from ..parallel import ShardRunStats, run_sharded_process
+
+        run_stats = ShardRunStats()
+        values = run_sharded_process(
+            _build_lan_world,
+            (mode, flows, congestion_control, duration, warmup, socket_buf,
+             shards, shard_plan, ring_latency, stack_family, coreengine_config),
+            until=duration,
+            collect_fn=_collect_lan_world,
+            shards=plan.shards,
+            stats=run_stats,
+            adaptive=adaptive,
+        )
+        total_bps = sum(v for v in values if v is not None)
+        if stats_out is not None:
+            stats_out.update(run_stats.as_dict())
+            stats_out["sim_seconds"] = duration
+            stats_out["shards"] = plan.shards
+        return total_bps / 1e9
+
+    world = _build_lan_world(
+        mode, flows, congestion_control, duration, warmup, socket_buf,
+        shards, shard_plan, ring_latency, stack_family,
+        coreengine_config, tracer, tracers,
+    )
+    testbed = world.testbed
+    if adaptive and testbed.sharded is not None:
+        testbed.sharded.set_adaptive(True)
     testbed.run(until=duration, executor=shard_executor)
     if stats_out is not None:
         stats_out["events_processed"] = testbed.events_processed
         stats_out["sim_seconds"] = duration
         if testbed.sharded is not None:
-            stats_out["windows"] = testbed.sharded.windows
-            stats_out["messages_exchanged"] = testbed.sharded.messages_exchanged
-    total_bps = sum(rx.meter.bps(until=duration) for rx in receivers)
+            sharded = testbed.sharded
+            stats_out["shards"] = sharded.n_shards
+            stats_out["windows"] = sharded.windows
+            stats_out["messages_exchanged"] = sharded.messages_exchanged
+            stats_out["events_per_window"] = sharded.events_per_window
+            stats_out["channel_idle_ratio"] = sharded.channel_idle_ratio
+            stats_out["adaptive"] = sharded.adaptive
+    total_bps = sum(rx.meter.bps(until=duration) for rx in world.receivers)
     return total_bps / 1e9
 
 
@@ -152,10 +267,26 @@ def remote_for(vm, port: int):
 
 
 def _measure_point(
-    mode: str, flows: int, duration: float, warmup: float, shards: int = 1
+    mode: str,
+    flows: int,
+    duration: float,
+    warmup: float,
+    shards: int = 1,
+    shard_plan: str = "host",
+    shard_executor: str = "serial",
+    ring_latency: Optional[float] = None,
+    adaptive: bool = False,
 ) -> float:
     return measure_lan_throughput(
-        mode, flows, duration=duration, warmup=warmup, shards=shards
+        mode,
+        flows,
+        duration=duration,
+        warmup=warmup,
+        shards=shards,
+        shard_plan=shard_plan,
+        shard_executor=shard_executor,
+        ring_latency=ring_latency,
+        adaptive=adaptive,
     )
 
 
@@ -166,18 +297,24 @@ def run_figure4(
     jobs: int = 1,
     shards: int = 1,
     pool: str = "fork",
+    shard_plan: str = "host",
+    shard_executor: str = "serial",
+    ring_latency: Optional[float] = None,
+    adaptive: bool = False,
 ) -> Figure4Result:
     """Regenerate Figure 4: one row per flow count.
 
     ``jobs`` fans the (mode × flows) grid across worker processes; the
     merged result is bit-identical to the serial run.  ``shards`` runs
-    each point as a sharded simulation — also bit-identical.  ``pool``
+    each point as a sharded simulation (partitioned per ``shard_plan``,
+    executed by ``shard_executor``) — also bit-identical.  ``pool``
     picks the worker-process policy (see :mod:`repro.parallel`).
     """
     from ..parallel import parallel_map
 
     grid = [
-        (mode, flows, duration, warmup, shards)
+        (mode, flows, duration, warmup, shards,
+         shard_plan, shard_executor, ring_latency, adaptive)
         for flows in flow_counts
         for mode in ("native", "netkernel")
     ]
@@ -185,7 +322,7 @@ def run_figure4(
         _measure_point,
         grid,
         jobs=jobs,
-        keys=[f"fig4:{mode}:{flows}f" for mode, flows, _, _, _ in grid],
+        keys=[f"fig4:{mode}:{flows}f" for mode, flows, *_rest in grid],
         pool=pool,
     )
     rows = []

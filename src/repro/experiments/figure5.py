@@ -90,12 +90,22 @@ def measure_wan_throughput(
     shards: int = 1,
     shard_executor: str = "serial",
     tracers=None,
+    shard_plan: str = "host",
+    ring_latency: Optional[float] = None,
+    adaptive: bool = False,
 ) -> float:
     """Mean goodput (Mbps) of one sender configuration on the WAN path.
 
-    ``shards > 1`` puts server and client in separate shards with the
-    rtt/2 propagation as lookahead; bit-identical to ``shards=1``.
+    ``shards > 1`` partitions per ``shard_plan``: the legacy ``"host"``
+    plan puts server and client in separate shards with the rtt/2
+    propagation as lookahead; ``"plane"`` cuts the *server host* at its
+    nqe rings instead (netkernel mode only — a legacy server has no
+    rings, so native configs fall back to the host plan).  All plans are
+    bit-identical to ``shards=1``.  ``adaptive`` widens per-shard
+    lookahead windows when cut channels are idle.
     """
+    if mode != "netkernel" and shard_plan == "plane":
+        shard_plan = "host"
     testbed = make_wan_testbed(
         seed=seed,
         loss=loss,
@@ -103,6 +113,9 @@ def measure_wan_throughput(
         tracer=tracer,
         shards=shards,
         tracers=tracers,
+        shard_plan=shard_plan,
+        ring_latency=ring_latency,
+        server_splittable=(mode == "netkernel"),
     )
 
     # The California client: a plain Linux VM that sinks the stream.
@@ -121,14 +134,28 @@ def measure_wan_throughput(
         )
 
     receiver = BulkReceiver(testbed.client_sim, client_vm.api, port=5000, warmup=warmup)
-    BulkSender(testbed.server_sim, server_vm.api, Endpoint(client_vm.api.ip, 5000))
+    # With ring hops on the server host, stagger the sender past its own
+    # control phase (see figure4's rationale; here only the sender hops,
+    # but the delay keeps the workload identical across plans' baselines).
+    hop = testbed.plan.ring_latency if testbed.plan is not None else None
+    BulkSender(
+        testbed.server_sim, server_vm.api, Endpoint(client_vm.api.ip, 5000),
+        start_delay=(25 * hop if hop is not None else 0.0),
+    )
+    if adaptive and testbed.sharded is not None:
+        testbed.sharded.set_adaptive(True)
     testbed.run(until=duration, executor=shard_executor)
     if stats_out is not None:
         stats_out["events_processed"] = testbed.events_processed
         stats_out["sim_seconds"] = duration
         if testbed.sharded is not None:
-            stats_out["windows"] = testbed.sharded.windows
-            stats_out["messages_exchanged"] = testbed.sharded.messages_exchanged
+            sharded = testbed.sharded
+            stats_out["shards"] = sharded.n_shards
+            stats_out["windows"] = sharded.windows
+            stats_out["messages_exchanged"] = sharded.messages_exchanged
+            stats_out["events_per_window"] = sharded.events_per_window
+            stats_out["channel_idle_ratio"] = sharded.channel_idle_ratio
+            stats_out["adaptive"] = sharded.adaptive
     return receiver.meter.bps(until=duration) / 1e6
 
 
@@ -140,9 +167,21 @@ def _measure_sample(
     warmup: float,
     seed: int,
     shards: int = 1,
+    shard_plan: str = "host",
+    ring_latency: Optional[float] = None,
+    adaptive: bool = False,
 ) -> float:
     return measure_wan_throughput(
-        mode, guest_os, cc, duration=duration, warmup=warmup, seed=seed, shards=shards
+        mode,
+        guest_os,
+        cc,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+        shards=shards,
+        shard_plan=shard_plan,
+        ring_latency=ring_latency,
+        adaptive=adaptive,
     )
 
 
@@ -153,6 +192,9 @@ def run_figure5(
     jobs: int = 1,
     shards: int = 1,
     pool: str = "fork",
+    shard_plan: str = "host",
+    ring_latency: Optional[float] = None,
+    adaptive: bool = False,
 ) -> Figure5Result:
     """Regenerate Figure 5: all four sender configurations, same path.
 
@@ -165,7 +207,8 @@ def run_figure5(
     from ..parallel import parallel_map
 
     grid = [
-        (mode, guest_os, cc, duration, warmup, seed, shards)
+        (mode, guest_os, cc, duration, warmup, seed, shards,
+         shard_plan, ring_latency, adaptive)
         for _label, mode, guest_os, cc in CONFIGS
         for seed in seeds
     ]

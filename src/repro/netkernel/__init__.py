@@ -9,6 +9,8 @@ Components, mirroring §3:
 * :class:`CoreEngine` — hypervisor daemon: nqe switching + connection table.
 * :class:`NSM` — the provider-run network stack module (VM/container/module).
 * :class:`Hypervisor` — boots VMs (legacy or NetKernel) and NSMs.
+* :class:`RingHop` — the GuestLib↔CoreEngine ring boundary as a cuttable
+  edge with a modeled crossing latency (intra-host sharding).
 """
 
 from .arbiter import FastpassArbiter
@@ -23,6 +25,7 @@ from .provision import Hypervisor
 from .qos import DrrScheduler, QosPolicy, TokenBucket
 from .rdma_nsm import DOORBELL_NS, RdmaNsm, TenantRdma
 from .queues import NotifyMode, NqeRing, PriorityNqeRing, QueueTimeout
+from .ringhop import DEFAULT_RING_HOP_LATENCY, RingHop
 from .servicelib import SERVICELIB_OP_NS, ServiceLib
 
 __all__ = [
@@ -63,4 +66,6 @@ __all__ = [
     "RdmaNsm",
     "TenantRdma",
     "DOORBELL_NS",
+    "RingHop",
+    "DEFAULT_RING_HOP_LATENCY",
 ]

@@ -1,0 +1,177 @@
+"""Ring hops: the GuestLib↔CoreEngine nqe boundary as a cuttable edge.
+
+The vm job/completion/receive rings are synchronous in the default
+datapath: ``offer`` lands the nqe in the ring and notifies its pump in
+the same event.  That models a shared-memory queue polled by both sides
+with no visibility latency — and it welds the tenant plane (GuestLib,
+VM cores, the guest app) to the provider plane (CoreEngine, NSMs, NICs)
+into one event heap, so intra-host sharding has no edge to cut.
+
+A :class:`RingHop` fronts the *producer* side of one ring with a modeled
+minimum crossing latency — the doorbell/notify cost of making an nqe
+visible to a consumer on another core (tens of microseconds for a
+VM-exit + eventfd kick on real virtio-style rings).  Producers keep the
+ring API (``offer`` / ``push`` / ``is_full``); consumers keep the real
+:class:`~repro.netkernel.queues.NqeRing`.  An nqe offered at ``t`` is
+enqueued at exactly ``t + latency``:
+
+* both planes in one shard (or an unsharded run): a plain
+  ``schedule_call_at`` on the owning simulator;
+* planes in different shards: a post to the hop's
+  :class:`~repro.sim.sharded.ShardChannel`, making ``latency`` the cut's
+  lookahead floor — this is what keeps the conservative window ``W > 0``
+  on an intra-host cut.
+
+Determinism contract: the nqe is packed to a plain picklable descriptor
+at post time and rebuilt at delivery **in every mode** — same-shard and
+cross-shard, serial, thread and forked-process executors all run the
+identical pack→deliver path, so ``shards=N`` stays bit-identical to the
+single-heap run (pinned by ``tests/test_sim_sharded.py``).
+
+Two semantics follow from the crossing:
+
+* **Huge-page ownership transfer.**  With a hop in place each (VM, NSM)
+  pair gets *two* accounting views of its shared region (guest side and
+  NSM side), each mutated only by its own plane's events — the invariant
+  that makes the SPMD process executor exact.  A data descriptor
+  crossing the hop is freed from the source view at post time and
+  re-materialized in the destination view (:meth:`HugePageRegion.adopt`)
+  at delivery: the bytes live in the one physical region throughout, the
+  views just account for which plane can see the descriptor.
+* **Span truncation.**  Trace spans are per-shard objects and cannot
+  cross the cut; a span riding a hopped nqe is annotated and ended at
+  post time.  Tracing charges no simulated CPU, so traced metrics stay
+  identical; traced span *trees* end at the hop (see DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..sim import Event, Simulator
+from ..sim.events import SimulationError
+from ..sim.partition import DEFAULT_RING_LATENCY
+from .hugepages import HugePageRegion
+from .nqe import Nqe
+from .queues import NqeRing
+
+__all__ = ["RingHop", "DEFAULT_RING_HOP_LATENCY"]
+
+#: Default minimum ring-crossing latency: the doorbell/notify cost of an
+#: nqe becoming visible across the guest/provider plane boundary.  Sized
+#: like a VM-exit + eventfd kick on a non-busy-polling consumer; it is
+#: also the conservative-lookahead floor for intra-host cuts, so it is
+#: deliberately at the high end of the plausible range — see DESIGN.md
+#: §13 for the fidelity/parallelism trade.  (One source of truth: the
+#: partition planner's constant.)
+DEFAULT_RING_HOP_LATENCY = DEFAULT_RING_LATENCY
+
+
+class RingHop:
+    """Producer-side facade adding a latency floor in front of one ring."""
+
+    __slots__ = ("name", "dst_ring", "latency", "src_sim", "dst_sim",
+                 "dst_region", "channel", "posted")
+
+    def __init__(
+        self,
+        name: str,
+        dst_ring: NqeRing,
+        latency: float,
+        src_sim: Simulator,
+        dst_sim: Simulator,
+        dst_region: Optional[HugePageRegion] = None,
+    ) -> None:
+        if latency <= 0:
+            raise SimulationError(
+                "a ring hop needs a positive latency: it is the "
+                "conservative-lookahead floor of an intra-host cut"
+            )
+        self.name = name
+        self.dst_ring = dst_ring
+        self.latency = latency
+        self.src_sim = src_sim
+        self.dst_sim = dst_sim
+        #: Region view that re-materializes crossing data descriptors
+        #: (None for the completion direction, which never carries data).
+        self.dst_region = dst_region
+        #: Set by the provisioning layer when the hop's two ends land in
+        #: different shards; None means same-shard scheduling.
+        self.channel = None
+        self.posted = 0
+
+    # -- producer-facing ring API -------------------------------------------
+    @property
+    def is_full(self) -> bool:
+        """The hop itself never fills; the destination ring backpressures
+        at delivery time (a full ring parks the delivery in its FIFO
+        putter list), so producer-side fast paths take the offer route."""
+        return False
+
+    def offer(self, nqe: Nqe) -> None:
+        self.posted += 1
+        packed = self._pack(nqe)
+        when = self.src_sim.now + self.latency
+        channel = self.channel
+        if channel is not None:
+            channel.post(when, packed)
+        else:
+            self.dst_sim.schedule_call_at(when, self.deliver, packed)
+
+    def push(self, nqe: Nqe, timeout: Optional[float] = None) -> Event:
+        """Ring-API compatibility: the hop always accepts immediately."""
+        self.offer(nqe)
+        event = Event(self.src_sim)
+        event.succeed()
+        return event
+
+    # -- crossing ------------------------------------------------------------
+    def _pack(self, nqe: Nqe) -> Tuple:
+        """Flatten the nqe to a plain picklable descriptor.
+
+        The live object must not cross: it may reference a span (shard-
+        local) and a huge-page chunk (source-view accounting).  One pack
+        path for every execution mode is what keeps same-shard delivery
+        bit-identical to a cross-shard channel delivery.
+        """
+        span = nqe.span
+        if span is not None:
+            span.annotate(hop=self.name, note="truncated at ring hop")
+            span.end()
+        chunk = nqe.data_desc
+        data = None
+        if chunk is not None:
+            data = (chunk.size, chunk.eof)
+            if not chunk.freed:
+                chunk.free()
+        return (
+            nqe.op, nqe.vm_id, nqe.fd, nqe.nsm_id, nqe.cid, data,
+            nqe.args, nqe.status, nqe.token, nqe.result, nqe.attempt,
+        )
+
+    def deliver(self, packed: Tuple) -> None:
+        """Rebuild the nqe in the destination plane and enqueue it."""
+        (op, vm_id, fd, nsm_id, cid, data,
+         args, status, token, result, attempt) = packed
+        chunk = None
+        if data is not None:
+            region = self.dst_region
+            if region is None:
+                raise SimulationError(
+                    f"ring hop {self.name} has no destination region for "
+                    f"a data-bearing {op} nqe"
+                )
+            chunk = region.adopt(data[0])
+            chunk.eof = data[1]
+        self.dst_ring.offer(Nqe(
+            op=op, vm_id=vm_id, fd=fd, nsm_id=nsm_id, cid=cid,
+            data_desc=chunk, args=args, status=status, token=token,
+            result=result, attempt=attempt,
+        ))
+
+    def __repr__(self) -> str:
+        cut = "cut" if self.channel is not None else "local"
+        return (
+            f"<RingHop {self.name} latency={self.latency * 1e6:.1f}us "
+            f"{cut} posted={self.posted}>"
+        )

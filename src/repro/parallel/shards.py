@@ -41,7 +41,9 @@ from __future__ import annotations
 
 import multiprocessing
 import traceback
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim.sharded import adaptive_horizons
 
 __all__ = ["ShardWorkerError", "ShardRunStats", "run_sharded_process"]
 
@@ -64,13 +66,31 @@ class ShardWorkerError(RuntimeError):
 class ShardRunStats:
     """Coordinator-side counters for one process-executor run."""
 
-    __slots__ = ("windows", "messages", "events_processed", "lookahead")
+    __slots__ = ("windows", "messages", "events_processed", "lookahead",
+                 "channels", "idle_channel_rounds", "adaptive")
 
     def __init__(self) -> None:
         self.windows = 0
         self.messages = 0
         self.events_processed = 0
         self.lookahead = _INF
+        self.channels = 0
+        #: Sum over windows of channels that carried nothing that window.
+        self.idle_channel_rounds = 0
+        self.adaptive = False
+
+    @property
+    def events_per_window(self) -> float:
+        """Barrier efficiency — each window costs one pipe round trip per
+        worker, so this is events bought per synchronization."""
+        return self.events_processed / self.windows if self.windows else 0.0
+
+    @property
+    def channel_idle_ratio(self) -> float:
+        """Fraction of (window, channel) slots with no message; high
+        values mean adaptive lookahead would cut the barrier count."""
+        total = self.windows * self.channels
+        return self.idle_channel_rounds / total if total else 0.0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -78,6 +98,10 @@ class ShardRunStats:
             "messages": self.messages,
             "events_processed": self.events_processed,
             "lookahead": self.lookahead,
+            "channels": self.channels,
+            "events_per_window": self.events_per_window,
+            "channel_idle_ratio": self.channel_idle_ratio,
+            "adaptive": self.adaptive,
         }
 
 
@@ -98,7 +122,13 @@ def _shard_worker_main(
         sim = sharded.sims[shard]
         channels = sharded.channels
         mine = [c for c in channels if c.src_shard == shard]
-        conn.send(("hello", sim.peek(), sharded.lookahead))
+        # Channel topology rides the hello so the coordinator can compute
+        # per-shard adaptive horizons; identical in every worker (SPMD).
+        topology = [
+            (c.channel_id, c.src_shard, c.dst_shard, c.min_delay)
+            for c in channels
+        ]
+        conn.send(("hello", sim.peek(), sharded.lookahead, topology))
         while True:
             command = conn.recv()
             if command[0] == "stop":
@@ -135,6 +165,7 @@ def run_sharded_process(
     shards: Optional[int] = None,
     context: Optional[str] = None,
     stats: Optional[ShardRunStats] = None,
+    adaptive: bool = False,
 ) -> List[Any]:
     """Run a sharded simulation with one worker process per shard.
 
@@ -144,6 +175,12 @@ def run_sharded_process(
     identically in every worker.  ``collect_fn(world, shard)`` extracts
     that shard's picklable result after the run.  Returns the per-shard
     collection results in shard order.
+
+    ``adaptive`` enables per-shard lookahead windows (the coordinator
+    computes shard ``i``'s horizon from the effective peeks of the shards
+    feeding it — see :meth:`ShardedSimulation.set_adaptive` for the
+    policy and its causality argument).  Simulated metrics are
+    bit-identical either way; only the window count changes.
     """
     if context is None:
         methods = multiprocessing.get_all_start_methods()
@@ -190,11 +227,17 @@ def run_sharded_process(
 
         peeks = [0.0] * shards
         lookahead = _INF
+        topology: List[Tuple[int, int, int, float]] = []
         for shard in range(shards):
-            _tag, peek, shard_lookahead = recv(shard)
+            _tag, peek, shard_lookahead, topo = recv(shard)
             peeks[shard] = peek
             lookahead = min(lookahead, shard_lookahead)
+            topology = topo
         stats.lookahead = lookahead
+        stats.channels = len(topology)
+        stats.adaptive = adaptive
+        #: Cut edges as (src, dst, min_delay), for adaptive horizons.
+        edges = [(src, dst, min_delay) for _cid, src, dst, min_delay in topology]
 
         #: Messages received but not yet delivered, per destination shard.
         pending: List[List[_Msg]] = [[] for _ in range(shards)]
@@ -207,23 +250,34 @@ def run_sharded_process(
             return earliest
 
         while True:
-            next_t = min(effective_peek(shard) for shard in range(shards))
+            epeeks = [effective_peek(shard) for shard in range(shards)]
+            next_t = min(epeeks)
             if next_t == _INF or (until is not None and next_t > until):
                 break
-            horizon = next_t + lookahead
+            if adaptive:
+                # Same bound as ShardedSimulation.set_adaptive — peeks
+                # relaxed transitively over the cut edges, then one hop
+                # out — with effective peeks (heap peek min undelivered
+                # messages) standing in for heap peeks.
+                horizons = adaptive_horizons(epeeks, edges)
+            else:
+                horizons = [next_t + lookahead] * shards
             stats.windows += 1
             for shard in range(shards):
                 inbound = pending[shard]
                 if inbound:
                     inbound.sort(key=lambda m: (m[0], m[1], m[2], m[3]))
                     pending[shard] = []
-                conns[shard].send(("window", horizon, inbound))
+                conns[shard].send(("window", horizons[shard], inbound))
+            busy_cids = set()
             for shard in range(shards):
                 _tag, peek, out, _events = recv(shard)
                 peeks[shard] = peek
                 stats.messages += len(out)
                 for msg in out:
+                    busy_cids.add(msg[2])
                     pending[msg[4]].append(msg)
+            stats.idle_channel_rounds += stats.channels - len(busy_cids)
 
         results: List[Any] = [None] * shards
         for shard in range(shards):

@@ -1,0 +1,286 @@
+"""Partition planning: where to cut the event graph into shards.
+
+PR 5's sharding cut only at inter-host links (``shard_for_host`` is host
+round-robin), so one hot host still ran serially and the conservative
+lookahead was pinned to the *wire* propagation delay — 5 µs on the LAN
+testbed, which costs ~200k window barriers per simulated second and
+drowns the forked-process executor in synchronization.
+
+This module plans cuts over a finer unit: each NetKernel host splits
+into a **guest plane** (VM vCPUs, GuestLib, cq/rq rings, the tenant's
+huge-page view) and a **provider plane** (CoreEngine, NSMs, NICs), with
+the nqe ring hop (:mod:`repro.netkernel.ringhop`) as the cuttable edge
+between them.  A ring cut's lookahead floor is the hop latency (40 µs by
+default — 8× the LAN wire), so an intra-host plan can run *fewer,
+fatter* windows than the host round-robin ever could.
+
+The planner scores candidate assignments by **estimated event weight**,
+not host count: the cost of a plan is its critical-path share (the
+heaviest shard does the serial work) plus a synchronization penalty
+proportional to the window rate ``1/W_min``.  Empty shards are collapsed
+at plan time — requesting more shards than the workload has units yields
+a dense plan that pays no barriers for ghosts (the old ``shard_for_host``
+edge case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .sharded import shard_for_host
+
+__all__ = [
+    "DEFAULT_RING_LATENCY",
+    "GUEST_PLANE_WEIGHT",
+    "PROVIDER_PLANE_WEIGHT",
+    "PlanUnit",
+    "PartitionPlan",
+    "plan_partition",
+]
+
+#: Default minimum nqe ring-crossing latency (the intra-host cut's
+#: conservative-lookahead floor).  See ``netkernel.ringhop``.
+DEFAULT_RING_LATENCY = 40e-6
+
+#: Relative event-weight estimate for one NetKernel host's two planes on
+#: a bulk-transfer workload (calibrated on figure4 — see PERFORMANCE.md):
+#: the provider plane carries the NSM stack, ServiceLib, CoreEngine and
+#: the NIC/wire machinery; the guest plane carries GuestLib, the app and
+#: the huge-page copies.
+GUEST_PLANE_WEIGHT = 0.45
+PROVIDER_PLANE_WEIGHT = 0.55
+
+#: Per-window synchronization cost, expressed in simulated seconds of
+#: equivalent serial work: a plan whose minimum cut lookahead is ``W``
+#: pays roughly one barrier per ``W`` of simulated time, so its penalty
+#: is ``BARRIER_COST_S / W``.  2 µs makes a 5 µs wire cut (penalty 0.4)
+#: lose to a 40 µs ring cut (penalty 0.05) unless the wire cut buys a
+#: much better weight balance — which matches the measured behaviour of
+#: the pipe-synchronized process executor on figure4.
+BARRIER_COST_S = 2e-6
+
+
+@dataclass(frozen=True)
+class PlanUnit:
+    """One indivisible block of simulation state: a host plane."""
+
+    host: int
+    plane: str  # "whole" | "guest" | "provider"
+    weight: float
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A dense shard assignment for every host plane.
+
+    ``shards`` is the *effective* count after empty-shard collapse; it
+    may be lower than requested.  ``ring_latency`` is None when the plan
+    needs no ring hops (pure inter-host cuts, the legacy behaviour).
+    """
+
+    shards: int
+    assignment: Dict[Tuple[int, str], int]
+    ring_latency: Optional[float]
+    cost: float
+
+    def shard_of(self, host: int, plane: str = "provider") -> int:
+        shard = self.assignment.get((host, plane))
+        if shard is None:
+            shard = self.assignment.get((host, "whole"))
+        if shard is None:
+            raise KeyError(f"host {host} has no plane {plane!r} in this plan")
+        return shard
+
+    @property
+    def intra_host(self) -> bool:
+        """True when the plan requires ring hops: either some host's
+        guest/provider planes are cut apart, or a hop floor was requested
+        explicitly (the shards=1 bit-identity baseline)."""
+        return self.ring_latency is not None
+
+    def split_hosts(self) -> List[int]:
+        """Hosts whose guest plane sits on a different shard than their
+        provider plane (the intra-host cuts)."""
+        hosts = []
+        for (host, plane), shard in sorted(self.assignment.items()):
+            if plane == "guest" and shard != self.assignment[(host, "provider")]:
+                hosts.append(host)
+        return hosts
+
+
+def _lpt(units: Sequence[PlanUnit], shards: Sequence[int]) -> Dict[Tuple[int, str], int]:
+    """Longest-processing-time-first over a fixed shard set, deterministic
+    (heaviest unit first; ties by (host, plane); lightest shard wins,
+    ties by shard index)."""
+    load = {s: 0.0 for s in shards}
+    assignment: Dict[Tuple[int, str], int] = {}
+    ordered = sorted(units, key=lambda u: (-u.weight, u.host, u.plane))
+    for unit in ordered:
+        target = min(load, key=lambda s: (load[s], s))
+        assignment[(unit.host, unit.plane)] = target
+        load[target] += unit.weight
+    return assignment
+
+
+def _collapse(assignment: Dict[Tuple[int, str], int]) -> Tuple[Dict[Tuple[int, str], int], int]:
+    """Renumber used shards densely (empty shards vanish at plan time)."""
+    used = sorted(set(assignment.values()))
+    remap = {old: new for new, old in enumerate(used)}
+    return {key: remap[s] for key, s in assignment.items()}, len(used)
+
+
+def _score(
+    units: Sequence[PlanUnit],
+    assignment: Dict[Tuple[int, str], int],
+    shards: int,
+    ring_latency: float,
+    wire_delay: float,
+) -> Tuple[float, bool]:
+    """(cost, has_intra_host_cut) for one candidate assignment."""
+    total = sum(u.weight for u in units)
+    load = [0.0] * shards
+    for unit in units:
+        load[assignment[(unit.host, unit.plane)]] += unit.weight
+    max_share = max(load) / total if total else 1.0
+    if shards <= 1:
+        return 1.0, False
+    # Minimum lookahead over the cut edges this assignment creates.
+    lookahead = None
+    intra = False
+    provider_shards = {}
+    for unit in units:
+        if unit.plane != "guest":
+            provider_shards[unit.host] = assignment[(unit.host, unit.plane)]
+    for unit in units:
+        if unit.plane == "guest":
+            if assignment[(unit.host, "guest")] != provider_shards[unit.host]:
+                intra = True
+                lookahead = ring_latency if lookahead is None else min(lookahead, ring_latency)
+    shards_seen = sorted(set(provider_shards.values()))
+    if len(shards_seen) > 1:
+        # Some wire crosses shards (hosts talk over the network).
+        lookahead = wire_delay if lookahead is None else min(lookahead, wire_delay)
+    if lookahead is None:
+        # Cuts exist (shards > 1) but neither kind detected — degenerate;
+        # treat as wire-bounded.
+        lookahead = wire_delay
+    return max_share + BARRIER_COST_S / lookahead, intra
+
+
+def plan_partition(
+    n_hosts: int,
+    shards: int,
+    mode: str = "auto",
+    splittable: Optional[Sequence[bool]] = None,
+    weights: Optional[Sequence[Tuple[float, float]]] = None,
+    ring_latency: Optional[float] = None,
+    wire_delay: float = 5e-6,
+) -> PartitionPlan:
+    """Choose shard placement for ``n_hosts`` hosts over ``shards`` shards.
+
+    ``mode``:
+
+    * ``"host"`` — the legacy plan: whole hosts, round-robin
+      (:func:`shard_for_host`), cuts only at wires.  Still collapses
+      empty shards when ``shards > n_hosts``.  ``ring_latency`` is
+      honoured if given (hops on, no cut) — the bit-identity baseline.
+    * ``"plane"`` — force at least one intra-host cut: splittable hosts
+      contribute guest/provider units and candidates without a ring cut
+      are discarded.
+    * ``"auto"`` — consider host plans and plane plans, pick the lowest
+      estimated cost.
+
+    ``splittable[i]`` marks hosts that boot NetKernel VMs (a legacy host
+    has no nqe rings to cut).  ``weights[i]`` optionally overrides the
+    per-host ``(guest, provider)`` event-weight estimate.
+    """
+    if n_hosts < 1:
+        raise ValueError("need at least one host")
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    if mode not in ("host", "plane", "auto"):
+        raise ValueError(f"unknown partition mode {mode!r}")
+    if splittable is None:
+        splittable = [True] * n_hosts
+    if len(splittable) != n_hosts:
+        raise ValueError("splittable must have one entry per host")
+    if weights is None:
+        weights = [(GUEST_PLANE_WEIGHT, PROVIDER_PLANE_WEIGHT)] * n_hosts
+
+    host_units = [
+        PlanUnit(i, "whole", weights[i][0] + weights[i][1]) for i in range(n_hosts)
+    ]
+    plane_units: List[PlanUnit] = []
+    for i in range(n_hosts):
+        if splittable[i]:
+            plane_units.append(PlanUnit(i, "guest", weights[i][0]))
+            plane_units.append(PlanUnit(i, "provider", weights[i][1]))
+        else:
+            plane_units.append(PlanUnit(i, "whole", weights[i][0] + weights[i][1]))
+
+    hop = ring_latency if ring_latency is not None else DEFAULT_RING_LATENCY
+
+    if mode == "plane" and not any(splittable):
+        raise ValueError("plane partitioning needs at least one splittable host")
+
+    if shards == 1 or (mode == "host" and n_hosts == 1):
+        units = plane_units if mode == "plane" else host_units
+        assignment = {(u.host, u.plane): 0 for u in units}
+        return PartitionPlan(
+            shards=1,
+            assignment=assignment,
+            # Plane mode keeps hops on at shards=1: that run is the
+            # bit-identity baseline for the sharded plans.  Host/auto at
+            # one shard only hop when explicitly asked.
+            ring_latency=hop if mode == "plane" else ring_latency,
+            cost=1.0,
+        )
+
+    candidates: List[Tuple[float, int, Dict[Tuple[int, str], int], Sequence[PlanUnit], bool]] = []
+
+    def consider(units: Sequence[PlanUnit], assignment: Dict[Tuple[int, str], int]) -> None:
+        assignment, used = _collapse(assignment)
+        cost, intra = _score(units, assignment, used, hop, wire_delay)
+        if mode == "plane" and not intra:
+            return
+        candidates.append((cost, len(candidates), assignment, units, intra))
+
+    if mode in ("host", "auto"):
+        eff = min(shards, n_hosts)
+        consider(
+            host_units,
+            {(u.host, u.plane): shard_for_host(u.host, eff) for u in host_units},
+        )
+    if mode in ("plane", "auto") and any(splittable):
+        guests = [u for u in plane_units if u.plane == "guest"]
+        others = [u for u in plane_units if u.plane != "guest"]
+        # Grouped splits: guests on the first k shards, provider/whole
+        # units on the rest — the shapes that keep wires intra-shard.
+        for k in range(1, shards):
+            assignment = dict(_lpt(guests, range(k)))
+            assignment.update(_lpt(others, range(k, shards)))
+            consider(plane_units, assignment)
+        # Free LPT over all units (best pure balance).
+        consider(plane_units, _lpt(plane_units, range(shards)))
+
+    if mode == "host":
+        # Host mode never mixes in plane candidates; the single host
+        # candidate wins by construction.
+        cost, _, assignment, _, _ = candidates[0]
+        return PartitionPlan(
+            shards=max(assignment.values()) + 1,
+            assignment=assignment,
+            ring_latency=ring_latency,
+            cost=cost,
+        )
+
+    if not candidates:
+        raise ValueError("no feasible partition plan")
+    cost, _, assignment, _, intra = min(candidates, key=lambda c: (c[0], c[1]))
+    return PartitionPlan(
+        shards=max(assignment.values()) + 1,
+        assignment=assignment,
+        ring_latency=(hop if intra else ring_latency),
+        cost=cost,
+    )

@@ -61,9 +61,49 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 from .engine import Simulator
 from .events import SimulationError
 
-__all__ = ["ShardChannel", "ShardedSimulation"]
+__all__ = ["ShardChannel", "ShardedSimulation", "adaptive_horizons"]
 
 _INF = float("inf")
+
+
+def adaptive_horizons(
+    peeks: Sequence[float], edges: Sequence[Tuple[int, int, float]]
+) -> List[float]:
+    """Per-shard adaptive window horizons for the given heap peeks.
+
+    ``edges`` are the cut channels as ``(src_shard, dst_shard,
+    min_delay)`` tuples.  Shard ``i``'s horizon is
+
+        ``H_i = min over edges (j -> i) of (E_j + W_ji)``
+
+    (``inf`` for unfed shards) where ``E_j`` is the earliest time shard
+    ``j`` could still execute *anything* — its heap peek relaxed
+    transitively over the cut edges to a fixed point
+    (``E_j = min(peek_j, min over (k -> j) of E_k + W_kj)``, the
+    Chandy–Misra earliest-output-time bound; Bellman–Ford over positive
+    edge weights, so the loop terminates).
+
+    Raw peeks instead of ``E`` would be unsafe: a shard that ran far
+    ahead under a wide horizon in an earlier window would be handed
+    messages in its past once a slow upstream chain caught up (upstream's
+    *own* upstream can wake it below its heap peek).  The relaxation
+    accounts for exactly those chains.
+    """
+    earliest = list(peeks)
+    changed = True
+    while changed:
+        changed = False
+        for src, dst, delay in edges:
+            bound = earliest[src] + delay
+            if bound < earliest[dst]:
+                earliest[dst] = bound
+                changed = True
+    horizons = [_INF] * len(peeks)
+    for src, dst, delay in edges:
+        bound = earliest[src] + delay
+        if bound < horizons[dst]:
+            horizons[dst] = bound
+    return horizons
 
 
 class ShardChannel:
@@ -118,6 +158,15 @@ class ShardedSimulation:
         self.channels: List[ShardChannel] = []
         #: Windows executed so far (observability; read by benchmarks).
         self.windows = 0
+        #: Sum over windows of cut channels that carried no message that
+        #: window (observability: ``idle / (windows * n_channels)`` is the
+        #: channel idle ratio surfaced by ``repro bench datapath``).
+        self.idle_channel_rounds = 0
+        #: Adaptive lookahead (see :meth:`set_adaptive`): per-shard
+        #: horizons that widen past ``min(peek)+W`` when the channels
+        #: feeding a shard are ahead (idle).  Off by default — the default
+        #: policy's window count is part of the pinned golden behaviour.
+        self.adaptive = False
         self._explicit_lookahead: Optional[float] = None
 
     # -- topology ------------------------------------------------------------
@@ -145,6 +194,36 @@ class ShardedSimulation:
                 f"propagation delay {computed} — windows would violate causality"
             )
         self._explicit_lookahead = lookahead
+
+    def set_adaptive(self, adaptive: bool = True) -> None:
+        """Enable per-shard adaptive lookahead windows.
+
+        The default (conservative) policy gives every shard the same
+        horizon ``min(peek) + W`` with ``W = min(min_delay)`` over *all*
+        channels.  The adaptive policy gives shard ``i`` the horizon
+        computed by :func:`adaptive_horizons`:
+
+            ``H_i = min over channels (j -> i) of (E_j + W_ji)``
+
+        where ``E_j`` is shard ``j``'s heap peek relaxed transitively
+        over the cut edges (``inf`` when nothing feeds ``i``).  When the
+        shards feeding ``i`` have run ahead — their channels to ``i``
+        idle — ``H_i`` widens far past the global window, shrinking the
+        barrier count; it is also never narrower than the default
+        horizon (``E`` bottoms out at ``min(peek)`` and every feed adds
+        at least ``W``).
+
+        Causality: shard ``i`` only runs events strictly before ``H_i``,
+        and by induction every event shard ``j`` executes from here on —
+        local or woken by an upstream chain — is timestamped ``>= E_j``,
+        so anything it posts to ``i`` is ``>= E_j + W_ji >= H_i``: never
+        in ``i``'s past.  (:meth:`Simulator.schedule_call_at`
+        additionally hard-fails on any past-timestamped injection, which
+        the adaptive property test leans on.)  Every executor supports
+        both policies with bit-identical simulated metrics; only the
+        window count — and therefore the barrier overhead — differs.
+        """
+        self.adaptive = adaptive
 
     def channel(
         self,
@@ -206,6 +285,20 @@ class ShardedSimulation:
     def messages_exchanged(self) -> int:
         return sum(channel.posted for channel in self.channels)
 
+    @property
+    def events_per_window(self) -> float:
+        """Barrier efficiency: higher means the windows are earning their
+        synchronization cost (the rule of thumb wants hundreds)."""
+        return self.events_processed / self.windows if self.windows else 0.0
+
+    @property
+    def channel_idle_ratio(self) -> float:
+        """Fraction of (window, channel) slots that carried no message —
+        high values mean the default policy is barriering for nothing and
+        adaptive lookahead (:meth:`set_adaptive`) would widen windows."""
+        total = self.windows * len(self.channels)
+        return self.idle_channel_rounds / total if total else 0.0
+
     # -- execution -----------------------------------------------------------
     def run(self, until: Optional[float] = None, executor: str = "serial") -> None:
         """Run all shards to ``until`` (inclusive), windows in lockstep.
@@ -236,15 +329,40 @@ class ShardedSimulation:
             return None
         return next_t + self.lookahead
 
+    def _window_horizons(self, until: Optional[float]) -> Optional[List[float]]:
+        """Per-shard horizons for the next window, or ``None`` when done.
+
+        Default policy: one global horizon for everyone (a list so both
+        policies share the executor loops).  Adaptive policy: see
+        :meth:`set_adaptive`.
+        """
+        sims = self.sims
+        peeks = [sim.peek() for sim in sims]
+        next_t = min(peeks)
+        if next_t == _INF or (until is not None and next_t > until):
+            return None
+        if not self.adaptive:
+            return [next_t + self.lookahead] * len(sims)
+        return adaptive_horizons(
+            peeks,
+            [(c.src_shard, c.dst_shard, c.min_delay) for c in self.channels],
+        )
+
     def exchange(self) -> int:
         """Barrier body: merge every channel outbox into the dest heaps."""
         pending: List[Tuple[float, int, int, int, ShardChannel, Any]] = []
+        idle = 0
         for channel in self.channels:
-            for when, seq, payload in channel.drain():
+            drained = channel.drain()
+            if not drained:
+                idle += 1
+                continue
+            for when, seq, payload in drained:
                 pending.append(
                     (when, channel.src_shard, channel.channel_id, seq,
                      channel, payload)
                 )
+        self.idle_channel_rounds += idle
         if not pending:
             return 0
         pending.sort(key=lambda m: (m[0], m[1], m[2], m[3]))
@@ -258,11 +376,11 @@ class ShardedSimulation:
     def _run_serial(self, until: Optional[float]) -> None:
         sims = self.sims
         while True:
-            horizon = self.next_window(until)
-            if horizon is None:
+            horizons = self._window_horizons(until)
+            if horizons is None:
                 return
             self.windows += 1
-            for sim in sims:
+            for sim, horizon in zip(sims, horizons):
                 sim.run_window(horizon, until)
             self.exchange()
 
@@ -272,16 +390,16 @@ class ShardedSimulation:
             return self._run_serial(until)
         start = threading.Barrier(n + 1)
         finish = threading.Barrier(n + 1)
-        state = {"horizon": 0.0, "stop": False}
+        state: dict = {"horizons": [0.0] * n, "stop": False}
         errors: List[BaseException] = []
 
-        def shard_main(sim: Simulator) -> None:
+        def shard_main(index: int, sim: Simulator) -> None:
             try:
                 while True:
                     start.wait()
                     if state["stop"]:
                         return
-                    sim.run_window(state["horizon"], until)
+                    sim.run_window(state["horizons"][index], until)
                     finish.wait()
             except threading.BrokenBarrierError:
                 return  # coordinator aborted after another shard's error
@@ -290,7 +408,7 @@ class ShardedSimulation:
                 finish.abort()
 
         threads = [
-            threading.Thread(target=shard_main, args=(sim,), daemon=True,
+            threading.Thread(target=shard_main, args=(index, sim), daemon=True,
                              name=f"shard-{index}")
             for index, sim in enumerate(self.sims)
         ]
@@ -298,11 +416,11 @@ class ShardedSimulation:
             thread.start()
         try:
             while True:
-                horizon = self.next_window(until)
-                if horizon is None:
+                horizons = self._window_horizons(until)
+                if horizons is None:
                     break
                 self.windows += 1
-                state["horizon"] = horizon
+                state["horizons"] = horizons
                 start.wait()
                 try:
                     finish.wait()
@@ -322,11 +440,15 @@ class ShardedSimulation:
 
 
 def shard_for_host(host_index: int, shards: int) -> int:
-    """The topology partitioner: host ``i`` lands on shard ``i % shards``.
+    """The legacy topology partitioner: host ``i`` -> shard ``i % shards``.
 
-    Round-robin keeps any N valid — asking for more shards than hosts
-    just leaves the extra shards idle (their heaps stay empty), which is
-    exactly what the ``--shards 4`` golden on a two-host testbed pins.
+    Round-robin keeps any N valid.  Asking for more shards than hosts
+    used to leave the extras idle *and still paying window barriers*;
+    the testbed factories now plan through :mod:`repro.sim.partition`,
+    which collapses empty shards at plan time, so ``--shards 4`` on a
+    two-host testbed builds two real shards (bit-identical metrics,
+    fewer barriers).  This function stays round-robin — it is the
+    "host" plan's assignment rule and its contract is pinned by tests.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")

@@ -1,0 +1,362 @@
+"""Intra-host sharding: the partition planner, the adaptive-lookahead
+safety property, and the plane-plan bit-identity goldens.
+
+The contract: cutting a NetKernel host at its nqe ring hop (guest plane
+vs provider plane on different shards) is just another conservative cut
+— every plan and executor must reproduce the hop-mode single-heap run
+byte for byte, and adaptive windows may only change *when barriers
+happen*, never what the simulation computes.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import SimulationError, ShardedSimulation
+from repro.sim.partition import (
+    DEFAULT_RING_LATENCY,
+    GUEST_PLANE_WEIGHT,
+    PROVIDER_PLANE_WEIGHT,
+    plan_partition,
+)
+from repro.sim.sharded import adaptive_horizons
+
+INF = float("inf")
+
+# ------------------------------------------------------------- the planner --
+
+
+def test_host_plan_is_round_robin_wholes():
+    plan = plan_partition(2, 2, mode="host")
+    assert plan.shards == 2
+    assert plan.shard_of(0) == 0
+    assert plan.shard_of(1) == 1
+    assert plan.ring_latency is None
+    assert not plan.intra_host
+    assert plan.split_hosts() == []
+
+
+def test_host_plan_collapses_ghost_shards():
+    """The old shard_for_host edge case: more shards than hosts used to
+    leave ghosts that still paid every window barrier."""
+    plan = plan_partition(2, 5, mode="host")
+    assert plan.shards == 2
+    assert sorted(set(plan.assignment.values())) == [0, 1]
+
+
+def test_plane_plan_cuts_inside_hosts():
+    plan = plan_partition(2, 2, mode="plane")
+    assert plan.shards == 2
+    assert plan.intra_host
+    assert plan.ring_latency == DEFAULT_RING_LATENCY
+    assert plan.split_hosts()  # at least one host's planes are apart
+    for host in plan.split_hosts():
+        assert plan.shard_of(host, "guest") != plan.shard_of(host, "provider")
+
+
+def test_plane_plan_collapses_to_unit_count():
+    """2 hosts x 2 planes = 4 units: asking for 8 shards yields a dense
+    plan with at most 4, every shard index used."""
+    plan = plan_partition(2, 8, mode="plane")
+    assert plan.shards <= 4
+    assert sorted(set(plan.assignment.values())) == list(range(plan.shards))
+
+
+def test_plane_plan_at_one_shard_is_the_hop_baseline():
+    """shards=1 plane keeps ring hops on (one heap) — that run is what
+    the sharded plane plans are pinned bit-identical to."""
+    plan = plan_partition(2, 1, mode="plane")
+    assert plan.shards == 1
+    assert plan.ring_latency == DEFAULT_RING_LATENCY
+    assert plan.intra_host
+
+
+def test_plane_plan_honours_ring_latency_override():
+    plan = plan_partition(2, 2, mode="plane", ring_latency=1e-4)
+    assert plan.ring_latency == 1e-4
+
+
+def test_plane_plan_needs_a_splittable_host():
+    with pytest.raises(ValueError, match="splittable"):
+        plan_partition(2, 2, mode="plane", splittable=(False, False))
+
+
+def test_unsplittable_hosts_stay_whole():
+    plan = plan_partition(2, 2, mode="plane", splittable=(True, False))
+    assert plan.split_hosts() == [0]
+    # shard_of falls back to the "whole" unit for the legacy host.
+    assert plan.shard_of(1, "guest") == plan.shard_of(1, "provider")
+
+
+def test_shard_of_unknown_host_raises():
+    plan = plan_partition(2, 2, mode="host")
+    with pytest.raises(KeyError):
+        plan.shard_of(7)
+
+
+def test_auto_prefers_ring_cut_on_lan_wire():
+    """5 us wire cuts cost 8x the barriers of a 40 us ring cut; on the
+    LAN testbed the planner must pick the intra-host plan."""
+    plan = plan_partition(2, 2, mode="auto")
+    assert plan.intra_host
+    assert plan.cost < plan_partition(2, 2, mode="host").cost + 2e-6 / 5e-6
+
+
+def test_auto_prefers_wire_cut_on_wan():
+    """A 175 ms propagation delay makes the wire the perfect cut — the
+    ring's better balance cannot beat a near-zero barrier penalty."""
+    plan = plan_partition(2, 2, mode="auto", wire_delay=0.175)
+    assert not plan.intra_host
+    assert plan.ring_latency is None
+
+
+def test_plane_weights_drive_balance():
+    total = GUEST_PLANE_WEIGHT + PROVIDER_PLANE_WEIGHT
+    assert total == pytest.approx(1.0)
+    # Default weights: guests (2 x 0.45) vs providers (2 x 0.55) — the
+    # grouped split's heaviest shard carries the provider planes.
+    plan = plan_partition(2, 2, mode="plane")
+    loads = {}
+    for (host, plane), shard in plan.assignment.items():
+        weight = GUEST_PLANE_WEIGHT if plane == "guest" else PROVIDER_PLANE_WEIGHT
+        loads[shard] = loads.get(shard, 0.0) + weight
+    assert max(loads.values()) == pytest.approx(2 * PROVIDER_PLANE_WEIGHT)
+    # Skewed weights still yield a valid intra-host plan (plane mode
+    # discards cut-free candidates even when they balance better).
+    heavy = plan_partition(2, 2, mode="plane", weights=[(0.9, 0.1)] * 2)
+    assert heavy.intra_host
+    assert heavy.split_hosts()
+
+
+# ------------------------------------------------- adaptive window horizons --
+
+
+def test_adaptive_horizons_no_edges_is_infinite():
+    assert adaptive_horizons([1.0, 2.0], []) == [INF, INF]
+
+
+def test_adaptive_horizons_single_edge():
+    horizons = adaptive_horizons([5.0, 100.0], [(0, 1, 2.0)])
+    assert horizons == [INF, 7.0]
+
+
+def test_adaptive_horizons_relax_transitively():
+    """The regression shape: shard 2 is fed by shard 1 whose own heap is
+    far ahead (peek 100) — but shard 0 can wake shard 1 at t=1, which can
+    then reach shard 2 at t=2.  A one-hop bound (peek_1 + W = 101) would
+    let shard 2 run into its own future messages."""
+    horizons = adaptive_horizons(
+        [0.0, 100.0, 50.0], [(0, 1, 1.0), (1, 2, 1.0)]
+    )
+    assert horizons == [INF, 1.0, 2.0]
+
+
+def test_adaptive_horizons_never_narrower_than_default():
+    """H_i >= min(peek) + min_delay for every fed shard, on random
+    topologies: adaptive can only widen windows."""
+    rng = random.Random(7)
+    for _trial in range(200):
+        n = rng.randint(2, 5)
+        peeks = [rng.uniform(0.0, 10.0) for _ in range(n)]
+        edges = []
+        for _ in range(rng.randint(1, 8)):
+            src, dst = rng.sample(range(n), 2)
+            edges.append((src, dst, rng.uniform(0.1, 2.0)))
+        floor = min(peeks) + min(delay for _s, _d, delay in edges)
+        horizons = adaptive_horizons(peeks, edges)
+        for shard in range(n):
+            if any(dst == shard for _s, dst, _w in edges):
+                assert horizons[shard] >= floor - 1e-12
+            else:
+                assert horizons[shard] == INF
+
+
+def _relay(adaptive: bool, seed: int = 11):
+    """Seeded 3-shard relay ring with skewed local event density.
+
+    Each shard runs dense local ticks (so heap peeks race far ahead of
+    the cross-shard traffic — exactly the shape that broke the naive
+    one-hop horizon), while tokens circulate 0 -> 1 -> 2 -> 0 across
+    channels with *different* latency floors.  Returns (log, windows):
+    the delivery log is the bit-identity witness.
+    """
+    rng = random.Random(seed)
+    sharded = ShardedSimulation(3)
+    floors = [1e-3, 2e-3, 4e-3]
+    log = []
+    channels = {}
+
+    def make_recv(shard):
+        def recv(token):
+            sim = sharded.sims[shard]
+            hops, value = token
+            log.append((round(sim.now, 12), shard, hops, value))
+            if hops < 25:
+                # Forward after the floor plus a seeded think time.
+                delay = floors[shard] * (1.0 + rng.random())
+                channels[shard].post(sim.now + delay, (hops + 1, value + shard))
+
+        return recv
+
+    for shard in range(3):
+        channels[shard] = sharded.channel(
+            shard, (shard + 1) % 3, make_recv((shard + 1) % 3),
+            min_delay=floors[shard],
+        )
+
+    def tick(shard, interval, remaining):
+        sim = sharded.sims[shard]
+        if remaining > 0:
+            sim.schedule_call_at(
+                sim.now + interval, tick, shard, interval, remaining - 1
+            )
+
+    # Shard 1's heap races ahead: many fine-grained local ticks.
+    sharded.sims[1].schedule_call_at(0.0, tick, 1, 5e-5, 4000)
+    sharded.sims[2].schedule_call_at(0.0, tick, 2, 7e-4, 100)
+    sharded.sims[0].schedule_call_at(0.0, make_recv(0), (0, 0))
+    if adaptive:
+        sharded.set_adaptive(True)
+    sharded.run(until=0.3)
+    return log, sharded.windows
+
+
+def test_adaptive_relay_is_bit_identical_and_saves_barriers():
+    """The safety property, end to end: adaptive windows never admit a
+    cross-shard message earlier than the cut's latency floor.
+
+    ``Simulator.schedule_call_at`` hard-fails on any injection below the
+    destination clock, so a single horizon wider than causality allows
+    turns into a SimulationError here — the naive one-hop policy does
+    exactly that on this workload.  Surviving the run with a bit-identical
+    delivery log *and* no more windows than the conservative policy is
+    the whole adaptive contract.
+    """
+    base_log, base_windows = _relay(adaptive=False)
+    adapt_log, adapt_windows = _relay(adaptive=True)
+    assert adapt_log == base_log
+    assert len(base_log) == 26
+    assert adapt_windows <= base_windows
+
+
+def test_adaptive_relay_many_seeds():
+    for seed in (1, 2, 3, 5, 8):
+        base_log, base_windows = _relay(adaptive=False, seed=seed)
+        adapt_log, adapt_windows = _relay(adaptive=True, seed=seed)
+        assert adapt_log == base_log, f"seed {seed} diverged"
+        assert adapt_windows <= base_windows
+
+
+def test_set_adaptive_keeps_zero_floor_rejected():
+    sharded = ShardedSimulation(2)
+    sharded.set_adaptive(True)
+    with pytest.raises(SimulationError, match="zero propagation delay"):
+        sharded.channel(0, 1, lambda payload: None, min_delay=0.0)
+
+
+# ------------------------------------------------ plane-plan bit-identity --
+
+
+def _fig4_plane(shards, executor="serial", adaptive=False):
+    from repro.experiments.figure4 import measure_lan_throughput
+
+    stats = {}
+    gbps = measure_lan_throughput(
+        "netkernel",
+        flows=2,
+        duration=0.03,
+        warmup=0.0075,
+        stats_out=stats,
+        shards=shards,
+        shard_executor=executor,
+        shard_plan="plane",
+        adaptive=adaptive,
+    )
+    return repr(gbps), stats
+
+
+def test_figure4_plane_sharded_is_bit_identical():
+    """Intra-host cut vs the hop-mode single heap: same floats exactly,
+    for both in-process executors and the collapse case (shards=4 on a
+    2-host testbed builds fewer shards, same results)."""
+    base_gbps, base_stats = _fig4_plane(1)
+    for shards, executor in ((2, "serial"), (2, "thread"), (4, "serial")):
+        gbps, stats = _fig4_plane(shards, executor)
+        assert gbps == base_gbps, f"shards={shards} {executor} diverged"
+        assert stats["events_processed"] == base_stats["events_processed"]
+
+
+def test_figure4_plane_process_executor_is_bit_identical():
+    base_gbps, base_stats = _fig4_plane(1)
+    gbps, stats = _fig4_plane(2, executor="process")
+    assert gbps == base_gbps
+    assert stats["events_processed"] == base_stats["events_processed"]
+    # Satellite: the barrier-efficiency counters ride along.
+    assert stats["shards"] == 2
+    assert stats["windows"] > 0
+    assert stats["events_per_window"] > 0
+    assert 0.0 <= stats["channel_idle_ratio"] <= 1.0
+    assert stats["messages"] > 0
+
+
+def test_figure4_plane_adaptive_is_bit_identical_with_fewer_windows():
+    base_gbps, base_stats = _fig4_plane(2, executor="serial")
+    gbps, stats = _fig4_plane(2, executor="serial", adaptive=True)
+    assert gbps == base_gbps
+    assert stats["adaptive"] is True
+    assert stats["windows"] <= base_stats["windows"]
+
+
+def test_figure4_plane_shards4_collapses():
+    from repro.experiments.common import make_lan_testbed
+
+    testbed = make_lan_testbed(shards=4, shard_plan="plane")
+    assert testbed.sharded is not None
+    assert testbed.sharded.n_shards == testbed.plan.shards
+    assert testbed.sharded.n_shards < 4  # 2 hosts x 2 planes collapse
+
+
+def test_figure4_native_falls_back_to_host_plan():
+    """Legacy VMs have no rings: a plane request must not wedge events
+    across the guest/provider split (regression — used to raise
+    'yielded event belongs to another simulator')."""
+    from repro.experiments.figure4 import measure_lan_throughput
+
+    kwargs = dict(flows=1, duration=0.01, warmup=0.002, shards=2)
+    host = measure_lan_throughput("native", shard_plan="host", **kwargs)
+    plane = measure_lan_throughput("native", shard_plan="plane", **kwargs)
+    assert repr(plane) == repr(host)
+
+
+def _fig5_plane(shards, executor="serial", adaptive=False):
+    from repro.experiments.figure5 import measure_wan_throughput
+    from repro.host.vm import GuestOS
+
+    stats = {}
+    mbps = measure_wan_throughput(
+        "netkernel",
+        GuestOS.WINDOWS,
+        "bbr",
+        duration=2.0,
+        warmup=0.25,
+        stats_out=stats,
+        shards=shards,
+        shard_executor=executor,
+        shard_plan="plane",
+        adaptive=adaptive,
+    )
+    return repr(mbps), stats
+
+
+def test_figure5_lossy_wan_plane_is_bit_identical():
+    """The server host's ring cut under WAN loss: RTO timers armed in the
+    provider plane are cancelled by guest-plane activity across the hop,
+    and the EpisodicLoss process must see packets in the same order."""
+    base_mbps, base_stats = _fig5_plane(1)
+    for executor in ("serial", "thread"):
+        mbps, stats = _fig5_plane(2, executor=executor)
+        assert mbps == base_mbps, f"{executor} diverged"
+        assert stats["events_processed"] == base_stats["events_processed"]
+    mbps, stats = _fig5_plane(2, adaptive=True)
+    assert mbps == base_mbps
+    assert stats["windows"] <= _fig5_plane(2)[1]["windows"]
