@@ -11,6 +11,7 @@
     python -m repro chaos [--smoke --seed 7]         # fault injection
     python -m repro chaos --fuzz 8 --jobs 4          # parallel fuzz sweep
     python -m repro stackswap [--quick]  # QUIC NSM swap + tenant isolation
+    python -m repro migrate [--chaos --family quic]  # live NSM migration
     python -m repro bench datapath [--quick]         # simulator wall-clock perf
     python -m repro bench scale [--smoke]            # large-N scale benchmark
     python -m repro all                  # everything (several minutes)
@@ -324,6 +325,50 @@ def run_chaos(args: argparse.Namespace) -> str:
     return plan.describe() + "\n" + result.table()
 
 
+def run_migrate(args: argparse.Namespace) -> str:
+    """Live NSM migration demo / chaos sweep (see repro.netkernel.migration)."""
+    from .experiments import chaos
+
+    if args.smoke:
+        results = chaos.run_migration_smoke()
+        failures = [f for r in results for f in r.failures]
+        report = "\n\n".join(r.table() for r in results)
+        if failures:
+            print(report)
+            raise SystemExit("migrate --smoke FAILED: " + "; ".join(failures))
+        return report + "\nmigrate --smoke OK"
+    if args.chaos:
+        result = chaos.run_migration_chaos(
+            family=args.family, flows=args.flows, total_mb=args.total_mb
+        )
+        if result.failures:
+            print(result.table())
+            raise SystemExit("migrate --chaos FAILED: " + "; ".join(result.failures))
+        return result.table() + "\nmigrate --chaos OK"
+    result = chaos.run_migration(
+        family=args.family, flows=args.flows, total_mb=args.total_mb
+    )
+    lines = [
+        f"live migration [{args.family}]: "
+        f"{'COMMIT' if result.committed else result.final_phase}",
+        f"  {result.connections_moved} connection(s) moved, "
+        f"{result.bytes_transferred}B of stack state, "
+        f"{result.drain_rounds} drain round(s)",
+        f"  guest-visible freeze: "
+        + (f"{result.freeze_seconds * 1e6:.1f}us"
+           if result.freeze_seconds is not None else "-"),
+        f"  transfer: {result.bytes_received}/{result.bytes_expected}B "
+        f"delivered, {result.guest_errors} guest error(s), "
+        f"{len(result.invariant_violations)} invariant violation(s)",
+        "  phases: "
+        + " -> ".join(f"{p}@{t * 1e3:.3f}ms" for p, t in result.phases),
+    ]
+    if not (result.zero_loss and result.committed):
+        print("\n".join(lines))
+        raise SystemExit("migrate: migration was not zero-loss")
+    return "\n".join(lines) + "\nmigrate OK"
+
+
 def run_stackswap(args: argparse.Namespace) -> str:
     """TCP-vs-QUIC stack swap + hostile-tenant isolation (acceptance run)."""
     from .experiments import stackswap
@@ -353,6 +398,8 @@ def run_list(args: argparse.Namespace) -> str:
         " (NSM crash/failover, timeouts); --fuzz N for a sweep",
         "  stackswap  same guest app on TCP vs QUIC NSMs (0-RTT setup"
         " latency) + hostile-tenant isolation on a shared NSM",
+        "  migrate    live NSM migration mid-transfer (zero-loss handoff);"
+        " --chaos sweeps faults across every phase boundary",
         "  bench      simulator wall-clock benchmarks (datapath, scale)",
         "  all        everything above in sequence",
         "",
@@ -495,6 +542,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "any run crashes")
     add_jobs(chaos)
     chaos.set_defaults(runner=run_chaos)
+
+    migrate = sub.add_parser(
+        "migrate",
+        help="live NSM migration: zero-loss tenant-stack handoff, with "
+        "an optional chaos sweep over every phase boundary",
+    )
+    migrate.add_argument("--smoke", action="store_true",
+                         help="CI mode: full TCP boundary sweep plus an "
+                              "abbreviated QUIC sweep; nonzero exit on any "
+                              "lost byte, guest error or invariant violation")
+    migrate.add_argument("--chaos", action="store_true",
+                         help="inject every migration fault kind at every "
+                              "phase boundary (pilot-learned times)")
+    migrate.add_argument("--family", choices=["tcp", "quic"], default="tcp",
+                         help="protocol stack family to migrate")
+    migrate.add_argument("--flows", type=int, default=2,
+                         help="concurrent finite bulk flows")
+    migrate.add_argument("--total-mb", type=int, default=8, dest="total_mb",
+                         help="byte budget per flow (MB) — zero-loss is "
+                              "checked against this exact count")
+    migrate.set_defaults(runner=run_migrate)
 
     stackswap = sub.add_parser(
         "stackswap",

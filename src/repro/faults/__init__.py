@@ -17,6 +17,14 @@ This package only *breaks* things, on schedule.
 """
 
 from .injector import FaultInjector
-from .plan import Fault, FaultKind, FaultPlan
+from .invariants import InvariantChecker
+from .plan import MIGRATION_KINDS, Fault, FaultKind, FaultPlan
 
-__all__ = ["Fault", "FaultKind", "FaultPlan", "FaultInjector"]
+__all__ = [
+    "Fault",
+    "FaultKind",
+    "FaultPlan",
+    "FaultInjector",
+    "InvariantChecker",
+    "MIGRATION_KINDS",
+]

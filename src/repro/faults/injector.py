@@ -46,6 +46,7 @@ class FaultInjector:
         self._nics: Dict[str, NIC] = {}
         self._links: Dict[str, Link] = {}
         self._tenants: Dict[str, tuple] = {}
+        self._migrations: Dict[str, object] = {}
         self._hoarded: Dict[str, HugeChunk] = {}
         self._tenant_hoards: Dict[str, HugeChunk] = {}
         self._tenant_stops: Dict[str, dict] = {}
@@ -89,6 +90,15 @@ class FaultInjector:
         """
         self._tenants[name] = (attachment, coreengine)
 
+    def register_migration(self, name: str, coordinator) -> None:
+        """Register a live :class:`MigrationCoordinator` as a fault target.
+
+        Migration faults need a coordinator handle, and coordinators only
+        exist once the harness launches a migration — so register before
+        :meth:`start` and schedule the migration launch accordingly.
+        """
+        self._migrations[name] = coordinator
+
     # -- arming ---------------------------------------------------------------
     def start(self) -> None:
         """Schedule every fault in the plan (idempotent)."""
@@ -110,6 +120,9 @@ class FaultInjector:
             FaultKind.NIC_BLACKHOLE: self._nics,
             FaultKind.LINK_LOSS: self._links,
             FaultKind.HOSTILE_TENANT: self._tenants,
+            FaultKind.MIGRATION_ABORT: self._migrations,
+            FaultKind.DEST_CRASH_MID_TRANSFER: self._migrations,
+            FaultKind.SPLIT_BRAIN: self._migrations,
         }[fault.kind]
         try:
             return registry[fault.target]
@@ -166,6 +179,16 @@ class FaultInjector:
                 name=f"hostile:{fault.target}",
             )
             self.sim.schedule_call(fault.duration, self._restore_tenant, fault)
+        elif fault.kind is FaultKind.MIGRATION_ABORT:
+            target.request_abort(f"fault injection at t={self.sim.now:.6f}")
+            self._recovered_at(fault, self.sim.now)
+        elif fault.kind is FaultKind.DEST_CRASH_MID_TRANSFER:
+            # Kill the destination NSM; the coordinator notices at its next
+            # phase boundary and rolls back.  No recovery scheduled — clean
+            # rollback *is* the recovery under test.
+            target.dst.crash()
+        elif fault.kind is FaultKind.SPLIT_BRAIN:
+            target.split_brain()
 
     def _tenant_flood(self, fault: Fault, attachment, coreengine, stop: dict):
         """The hostile tenant's op storm: valid-fd ops via its own job ring.

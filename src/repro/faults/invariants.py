@@ -1,0 +1,164 @@
+"""Runtime invariant checking for the chaos and migration harnesses.
+
+The robustness story is only as strong as what we *assert* while faults
+fly.  This module provides :class:`InvariantChecker`, a passive observer
+wired into the datapath at two points:
+
+* **ServiceLib emission** (:meth:`on_data_emitted`): every receive-path
+  DATA nqe carries a stable per-flow ``flow_uid`` and a monotonic
+  ``rx_seq`` stamped at emission time.  The checker records what each
+  flow emitted, and how many bytes.
+* **CoreEngine forwarding** (:meth:`on_data_forwarded`): when the switch
+  forwards that nqe to the guest, the checker asserts the per-flow
+  sequence is *exactly* the next one expected — catching duplicates,
+  reordering, gaps, and bytes fabricated out of thin air (forwarded but
+  never emitted).
+
+A flow's ``uid`` survives migration even though its cID changes, so a
+migrated connection's stream is checked end-to-end across the handoff.
+
+:meth:`audit` adds the structural invariants: connection-table ownership
+uniqueness (two NSMs must never claim one cID — the split-brain hazard)
+and huge-page descriptor accounting (``0 <= used <= capacity`` per
+registered region; a region over capacity means a descriptor is owned
+twice).
+
+All violations accumulate in :attr:`violations` as human-readable
+strings; an empty list at the end of a chaos run is the pass criterion.
+The checker is optional and costs nothing when absent — both hooks are
+``None``-guarded at the call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["InvariantChecker"]
+
+#: Stop appending after this many violations: a broken run would
+#: otherwise flood memory with one string per packet.
+_MAX_VIOLATIONS = 200
+
+
+class InvariantChecker:
+    """Datapath invariant observer (byte conservation, no-dup/no-reorder,
+    ownership uniqueness).  One instance watches one CoreEngine."""
+
+    def __init__(self) -> None:
+        self.violations: List[str] = []
+        #: flow uid -> count of DATA nqes emitted by a ServiceLib.
+        self._emitted_seqs: Dict[int, int] = {}
+        #: flow uid -> next rx_seq CoreEngine must forward.
+        self._next_forward: Dict[int, int] = {}
+        #: flow uid -> bytes emitted / forwarded (conservation ledger).
+        self._emitted_bytes: Dict[int, int] = {}
+        self._forwarded_bytes: Dict[int, int] = {}
+        self._coreengines: list = []
+        self._regions: list = []
+
+    # -- wiring -------------------------------------------------------------
+    def install(self, coreengine) -> None:
+        """Attach to a CoreEngine and all its current NSMs' ServiceLibs.
+
+        NSMs attached *after* install pick the checker up automatically:
+        ``CoreEngine.attach_nsm`` copies ``invariant_checker`` onto each
+        new ServiceLib.
+        """
+        coreengine.invariant_checker = self
+        for queues in coreengine._nsms.values():
+            queues.servicelib.invariants = self
+        self._coreengines.append(coreengine)
+
+    def watch_region(self, name: str, region) -> None:
+        """Track a huge-page region for :meth:`audit` accounting checks."""
+        self._regions.append((name, region))
+
+    # -- datapath hooks -----------------------------------------------------
+    def on_data_emitted(self, uid: int, seq: int, nbytes: int) -> None:
+        """A ServiceLib pushed receive-path DATA ``seq`` for flow ``uid``."""
+        expected = self._emitted_seqs.get(uid, 0)
+        if seq != expected:
+            self._violate(
+                f"flow {uid}: emitted seq {seq}, expected {expected} "
+                f"(ServiceLib-side dup or skip)"
+            )
+        self._emitted_seqs[uid] = max(expected, seq + 1)
+        self._emitted_bytes[uid] = self._emitted_bytes.get(uid, 0) + nbytes
+
+    def on_data_forwarded(self, uid: int, seq: int, nbytes: int) -> None:
+        """CoreEngine forwarded receive-path DATA ``seq`` to the guest."""
+        emitted = self._emitted_seqs.get(uid)
+        if emitted is None or seq >= emitted:
+            self._violate(
+                f"flow {uid}: forwarded seq {seq} that was never emitted"
+            )
+        expected = self._next_forward.get(uid, 0)
+        if seq < expected:
+            self._violate(f"flow {uid}: duplicate delivery of seq {seq}")
+        elif seq > expected:
+            self._violate(
+                f"flow {uid}: gap/reorder — forwarded seq {seq}, "
+                f"expected {expected}"
+            )
+        self._next_forward[uid] = max(expected, seq + 1)
+        self._forwarded_bytes[uid] = self._forwarded_bytes.get(uid, 0) + nbytes
+
+    # -- structural audit ---------------------------------------------------
+    def audit(self) -> List[str]:
+        """Run the end-state structural checks; returns new violations.
+
+        Call when the simulation has quiesced: per-flow forwarded bytes
+        must never exceed emitted bytes (conservation — the switch cannot
+        deliver bytes no stack produced), every connection table must
+        pass its ownership audit, and every watched huge-page region must
+        be within ``[0, capacity]``.
+        """
+        found: List[str] = []
+        for uid, fwd in self._forwarded_bytes.items():
+            emitted = self._emitted_bytes.get(uid, 0)
+            if fwd > emitted:
+                found.append(
+                    f"flow {uid}: forwarded {fwd}B but only {emitted}B emitted"
+                )
+        for ce in self._coreengines:
+            found.extend(ce.table.audit())
+        for name, region in self._regions:
+            if region.used < 0:
+                found.append(
+                    f"region {name}: negative usage {region.used}B (double free)"
+                )
+            if region.used > region.capacity:
+                found.append(
+                    f"region {name}: used {region.used}B exceeds capacity "
+                    f"{region.capacity}B (descriptor owned twice)"
+                )
+        for v in found:
+            self._violate(v)
+        return found
+
+    # -- reporting ----------------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self) -> str:
+        if not self.violations:
+            return (
+                f"invariants: OK ({len(self._emitted_seqs)} flows, "
+                f"{sum(self._forwarded_bytes.values())} bytes forwarded)"
+            )
+        lines = [f"invariants: {len(self.violations)} violation(s)"]
+        lines.extend(f"  {v}" for v in self.violations[:20])
+        if len(self.violations) > 20:
+            lines.append(f"  ... and {len(self.violations) - 20} more")
+        return "\n".join(lines)
+
+    def _violate(self, message: str) -> None:
+        if len(self.violations) < _MAX_VIOLATIONS:
+            self.violations.append(message)
+
+    def __repr__(self) -> str:
+        return (
+            f"<InvariantChecker flows={len(self._emitted_seqs)} "
+            f"violations={len(self.violations)}>"
+        )

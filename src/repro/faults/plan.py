@@ -14,7 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-__all__ = ["FaultKind", "Fault", "FaultPlan"]
+__all__ = ["FaultKind", "Fault", "FaultPlan", "MIGRATION_KINDS"]
 
 
 class FaultKind(enum.Enum):
@@ -45,6 +45,17 @@ class FaultKind(enum.Enum):
     #: ``duration``.  Proves CoreEngine's per-tenant quotas keep other
     #: tenants' goodput intact (see ``repro stackswap``).
     HOSTILE_TENANT = "hostile-tenant"
+    #: Ask a live migration to roll back (the coordinator honours the
+    #: request at its next phase boundary).  Target: a registered
+    #: migration handle — see ``FaultInjector.register_migration``.
+    MIGRATION_ABORT = "migration-abort"
+    #: Crash the migration *destination* NSM mid-flight; the coordinator
+    #: must detect it at the next boundary and roll back cleanly.
+    DEST_CRASH_MID_TRANSFER = "dest-crash-mid-transfer"
+    #: Split brain: the migration source resumes after being presumed
+    #: dead and emits under its retired cID space — both NSMs then claim
+    #: the same connections until CoreEngine fences the stale source.
+    SPLIT_BRAIN = "split-brain"
 
 
 @dataclass(frozen=True)
@@ -85,6 +96,17 @@ _DURATION_KINDS = frozenset(
         FaultKind.NIC_BLACKHOLE,
         FaultKind.LINK_LOSS,
         FaultKind.HOSTILE_TENANT,
+    }
+)
+
+#: Migration fault kinds target a *live* :class:`MigrationCoordinator`
+#: (registered by name at run time); random plans cannot know one will
+#: exist, so these stay scripted-only and out of ``_RANDOM_KINDS``.
+MIGRATION_KINDS = frozenset(
+    {
+        FaultKind.MIGRATION_ABORT,
+        FaultKind.DEST_CRASH_MID_TRANSFER,
+        FaultKind.SPLIT_BRAIN,
     }
 )
 

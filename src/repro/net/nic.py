@@ -59,11 +59,17 @@ class NIC:
         #: directions (the behaviour of dead hardware), unlike a
         #: *detached* NIC, which is a configuration error and raises.
         self.failed = False
+        #: Migration: once an NSM's address moves to its successor, the
+        #: retired VF is unprogrammed from the embedded switch.  Late TX
+        #: from residual per-core work is dropped in hardware, not an
+        #: error (the peer retransmits to the new owner of the address).
+        self.draining = False
         self.tx_packets = 0
         self.rx_packets = 0
         self.tx_bytes = 0
         self.rx_bytes = 0
         self.dropped_failed = 0
+        self.dropped_draining = 0
         self._lro_pending: Dict[_LroKey, _LroSlot] = {}
         self.lro_merged_deliveries = 0
 
@@ -78,6 +84,9 @@ class NIC:
         """Send a packet toward the network."""
         if self.failed:
             self.dropped_failed += 1
+            return
+        if self.draining:
+            self.dropped_draining += 1
             return
         if self.downstream is None:
             raise RuntimeError(f"NIC {self.name!r} is not attached to anything")

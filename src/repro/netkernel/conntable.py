@@ -36,6 +36,12 @@ class ConnectionTable:
         #: Which stack family serves each mapping — connections are keyed
         #: by (tenant, family) now that tenants pick protocol stacks.
         self._family: Dict[VmKey, str] = {}
+        #: Migration aliases: the *old* <NSM ID, cID> of a re-pointed
+        #: mapping -> its <VM ID, fd>.  Late completions issued by the
+        #: source NSM before the freeze still resolve through here;
+        #: receive-path traffic matching an alias identifies a stale
+        #: (fenced) source.
+        self._alias: Dict[NsmKey, VmKey] = {}
 
     def __len__(self) -> int:
         return len(self._vm_to_nsm)
@@ -124,3 +130,74 @@ class ConnectionTable:
 
     def connections_of_nsm(self, nsm_id: int) -> list[NsmKey]:
         return list(self._by_nsm.get(nsm_id, ()))
+
+    # -- migration re-pointing ----------------------------------------------
+    def repoint(self, vm_id: int, fd: int, nsm_id: int, cid: int) -> NsmKey:
+        """Remap one live connection to a new ``<NSM ID, cID>``.
+
+        The old NSM-side key is remembered as an *alias* so completions
+        the source NSM emitted before the freeze still resolve to the
+        guest socket, and so stale source traffic is recognizable.  The
+        migration coordinator calls this for every connection of a
+        (tenant, family) group within one simulated instant, which makes
+        the group re-point atomic as far as the datapath can observe.
+        Returns the old NSM key.
+        """
+        vm_key = (vm_id, fd)
+        old_nsm_key = self._vm_to_nsm.get(vm_key)
+        if old_nsm_key is None:
+            raise KeyError(f"no mapping for VM{vm_id} fd{fd}")
+        new_nsm_key = (nsm_id, cid)
+        if new_nsm_key in self._nsm_to_vm:
+            raise KeyError(f"duplicate mapping for NSM{nsm_id} cid{cid}")
+        self._nsm_to_vm.pop(old_nsm_key, None)
+        members = self._by_nsm.get(old_nsm_key[0])
+        if members is not None:
+            members.pop(old_nsm_key, None)
+        self._vm_to_nsm[vm_key] = new_nsm_key
+        self._nsm_to_vm[new_nsm_key] = vm_key
+        self._by_nsm.setdefault(nsm_id, {})[new_nsm_key] = None
+        self._alias[old_nsm_key] = vm_key
+        return old_nsm_key
+
+    def alias_to_vm(self, nsm_id: int, cid: int) -> Optional[VmKey]:
+        """Resolve a re-pointed connection's *old* NSM key, if aliased."""
+        return self._alias.get((nsm_id, cid))
+
+    def drop_alias(self, nsm_id: int, cid: int) -> None:
+        self._alias.pop((nsm_id, cid), None)
+
+    def drop_aliases_of_nsm(self, nsm_id: int) -> None:
+        """Forget every alias pointing at ``nsm_id`` (migration COMMIT)."""
+        stale = [key for key in self._alias if key[0] == nsm_id]
+        for key in stale:
+            del self._alias[key]
+
+    def alias_count(self) -> int:
+        return len(self._alias)
+
+    def audit(self) -> list[str]:
+        """Ownership-uniqueness self-check (invariant checker hook).
+
+        Returns human-readable violations: the two direction maps must be
+        exact inverses, membership indexes must agree with them, and no
+        alias may collide with a live NSM-side key (two NSMs claiming one
+        cID space — the split-brain signature).
+        """
+        problems: list[str] = []
+        for vm_key, nsm_key in self._vm_to_nsm.items():
+            if self._nsm_to_vm.get(nsm_key) != vm_key:
+                problems.append(f"forward {vm_key}->{nsm_key} has no inverse")
+        for nsm_key, vm_key in self._nsm_to_vm.items():
+            if self._vm_to_nsm.get(vm_key) != nsm_key:
+                problems.append(f"inverse {nsm_key}->{vm_key} has no forward")
+            members = self._by_nsm.get(nsm_key[0], {})
+            if nsm_key not in members:
+                problems.append(f"{nsm_key} missing from NSM index")
+        for nsm_key in self._alias:
+            if nsm_key in self._nsm_to_vm:
+                problems.append(
+                    f"alias {nsm_key} collides with a live mapping "
+                    "(two NSMs claim one cID)"
+                )
+        return problems

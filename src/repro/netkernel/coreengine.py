@@ -78,12 +78,25 @@ class CoreEngineConfig:
     op_timeout: Optional[float] = None
     op_retries: int = 2
     op_backoff: float = 2.0
+    #: Decorrelated jitter for op-retry backoff.  ``None`` keeps the
+    #: deterministic exponential schedule (bit-identical to pre-jitter
+    #: runs); an integer seeds one RNG per GuestLib so retries desynchronize
+    #: — after an NSM crash, synchronized deterministic retries thundering
+    #: herd the standby — while staying reproducible run to run.
+    op_jitter_seed: Optional[int] = None
     #: NSM liveness: CoreEngine pushes a HEARTBEAT nqe every interval and
     #: declares the NSM dead after ``heartbeat_miss`` silent intervals.
     #: ``None`` disables the watchdog (default; heartbeats charge NSM CPU,
     #: so enabling them perturbs simulated results).
     heartbeat_interval: Optional[float] = None
     heartbeat_miss: int = 3
+    #: Suspicion grace: exceeding the miss budget only *suspects* the NSM;
+    #: death needs continued silence past ``budget * (1 + grace)``.  A
+    #: slow-but-alive NSM (NSM_SLOWDOWN) whose heartbeats arrive late keeps
+    #: resetting the silence clock and survives; a crashed one stays
+    #: silent and is declared dead one grace window later.  0.0 restores
+    #: the old hair-trigger watchdog.
+    heartbeat_grace: float = 1.0
     #: Per-tenant isolation: when set, VM job rings are drained by one
     #: weighted round-robin scheduler instead of a free-running mover per
     #: ring, and each tenant moves at most ``tenant_quota_nqes × weight``
@@ -160,6 +173,11 @@ class VmAttachment:
     #: ``(job_hop, cq_hop, rq_hop)`` when a ring hop is configured, for
     #: the provisioning layer to wire onto shard channels; else None.
     hops: tuple = None
+    #: The polling-mode job-ring pump, when that mover form is in use
+    #: (None under interrupt modes / the tenant quota scheduler).  Live
+    #: migration freezes a tenant by pausing this pump: ops queue in the
+    #: guest-visible ring — bounded freeze, nothing lost.
+    job_pump: object = None
 
 
 @dataclass
@@ -213,6 +231,25 @@ class CoreEngine:
         self._nsm_objects: Dict[int, NSM] = {}
         self._failed_nsms: set = set()
         self._last_heartbeat: Dict[int, float] = {}
+        #: Watchdog suspicion bookkeeping: nsm_id -> sim time the NSM
+        #: first exceeded the miss budget (cleared when a late heartbeat
+        #: lands), plus a per-NSM count of suspicion episodes for tests.
+        self._suspected_since: Dict[int, float] = {}
+        self.heartbeat_suspicions: Dict[int, int] = {}
+        # --- live migration ----------------------------------------------
+        #: The active migration coordinator (at most one per CoreEngine);
+        #: receives drain-marker echoes from the switch bodies.
+        self._migration = None
+        #: Completed/aborted migration records (mirrors ``failovers``).
+        self.migrations: list = []
+        #: Stale-source fencing: nqes dropped because they arrived from a
+        #: migration source after its connections were re-pointed, and the
+        #: sources fenced (crashed) for it.
+        self.fenced_nqes = 0
+        self.fenced_sources: list = []
+        self._fenced_nsm_ids: set = set()
+        #: Optional repro.faults.invariants checker (None = zero-cost).
+        self.invariant_checker = None
         # --- tenant isolation --------------------------------------------
         self._tenant_entries: list = []
         self._tenant_sched_started = False
@@ -248,6 +285,7 @@ class CoreEngine:
             batch=self.config.servicelib_batch(),
             dedup=self.config.fault_tolerant,
         )
+        servicelib.invariants = self.invariant_checker
         queues = _NsmQueues(job, completion, receive, servicelib)
         self._nsms[nsm.nsm_id] = queues
         self._nsm_objects[nsm.nsm_id] = nsm
@@ -312,6 +350,7 @@ class CoreEngine:
             op_timeout=self.config.op_timeout,
             op_retries=self.config.op_retries,
             op_backoff=self.config.op_backoff,
+            op_jitter_seed=self.config.op_jitter_seed,
         )
         if hop_latency is None:
             completion = self._ring(f"vm{vm_id}.cq")
@@ -387,7 +426,9 @@ class CoreEngine:
         if self.config.tenant_quota_nqes is not None:
             self._register_tenant_ring(vm_id, job, switch_job)
         else:
-            self._start_mover(job, "job", switch_job, f"{self.name}.job.vm{vm_id}")
+            attachment.job_pump = self._start_mover(
+                job, "job", switch_job, f"{self.name}.job.vm{vm_id}"
+            )
         return attachment
 
     # ------------------------------------------------------------ mover loops --
@@ -489,11 +530,27 @@ class CoreEngine:
             # forwarded (heartbeats carry no VM mapping).
             self._last_heartbeat[nsm.nsm_id] = self.sim.now
             return None
+        if nqe.args is NqeOp.DRAIN_MARKER:
+            # Migration drain marker echoed back through the job pipeline;
+            # consumed here, handed to the coordinator.
+            migration = self._migration
+            if migration is not None:
+                migration.on_drain_marker("job", nqe.result)
+            return None
         vm_key = self.table.to_vm(nsm.nsm_id, nqe.cid)
         if vm_key is None:
-            if nqe.data_desc is not None:  # teardown race: release huge pages
-                nqe.data_desc.free()
-            return None
+            # A migrated connection's *old* key: the source NSM finished
+            # an op it accepted before the freeze (connect established,
+            # send buffered).  Forward it to the guest — GuestLib's
+            # by-token completion pop makes delivery exactly-once even if
+            # a retry also completed on the destination.
+            vm_key = self.table.alias_to_vm(nsm.nsm_id, nqe.cid)
+            if vm_key is None:
+                if nqe.data_desc is not None:  # teardown race: free pages
+                    nqe.data_desc.free()
+                return None
+            if self._traced:
+                self.tracer.count("coreengine.migration.late_completions")
         vm_id, fd = vm_key
         attachment = self._vms.get(vm_id)
         if attachment is None:
@@ -510,8 +567,21 @@ class CoreEngine:
         return None
 
     def _switch_receive_nqe(self, nsm: NSM, nqe: Nqe):
+        if nqe.op is NqeOp.DRAIN_MARKER:
+            # Migration drain marker flushed through the receive pipeline.
+            migration = self._migration
+            if migration is not None:
+                migration.on_drain_marker("receive", nqe.args)
+            return None
         vm_key = self.table.to_vm(nsm.nsm_id, nqe.cid)
         if vm_key is None:
+            if self.table.alias_to_vm(nsm.nsm_id, nqe.cid) is not None:
+                # Receive-path traffic under a *retired* <NSM, cID>: the
+                # source was drained before the re-point, so this is a
+                # stale source still claiming the cID space (split brain).
+                # Drop the nqe and fence the zombie for good.
+                self._fence_stale_source(nsm, nqe)
+                return None
             if nqe.data_desc is not None:
                 nqe.data_desc.free()
             return None
@@ -535,6 +605,12 @@ class CoreEngine:
                 vm_id, child_fd, nsm.nsm_id, child_cid, family=nsm.spec.stack_family
             )
             nqe.result = child_fd
+        inv = self.invariant_checker
+        if inv is not None and nqe.flow_uid is not None:
+            chunk = nqe.data_desc
+            inv.on_data_forwarded(
+                nqe.flow_uid, nqe.rx_seq, chunk.size if chunk is not None else 0
+            )
         ring = attachment.receive_egress
         if ring.is_full:
             return self._forward_slow(ring, nqe)
@@ -628,7 +704,7 @@ class CoreEngine:
         if self.config.notify_mode is not NotifyMode.POLLING:
             loop = self._mover_batched if self.config.batching else self._mover
             self.sim.process(loop(ring, direction, switch_nqe), name=name)
-            return
+            return None
         switch_op = "coreengine.switch." + direction
         if self.config.batching:
             policy = self.config.coreengine_batch()
@@ -649,7 +725,7 @@ class CoreEngine:
             def pre_batch(n):
                 self.nqes_copied += n
 
-            BatchRingPump(
+            return BatchRingPump(
                 ring,
                 self.core,
                 policy.batch_size,
@@ -658,7 +734,6 @@ class CoreEngine:
                 handle,
                 pre_batch,
             )
-            return
         if self._traced:
 
             def pre(nqe):
@@ -679,7 +754,9 @@ class CoreEngine:
         def handle(nqe, _token):
             return switch_nqe(nqe)
 
-        RingPump(ring, self.core, self.config.nqe_copy_ns * NANOS, handle, pre, post)
+        return RingPump(
+            ring, self.core, self.config.nqe_copy_ns * NANOS, handle, pre, post
+        )
 
     def _switch_traced_slow(self, blocked, started, span):
         yield from blocked
@@ -779,19 +856,40 @@ class CoreEngine:
         """Probe one NSM's liveness; declare it dead after missed answers.
 
         The HEARTBEAT nqe takes the normal job-ring path and is answered
-        by ServiceLib on the NSM core — so a crashed, wedged or fully
-        stalled NSM misses beats, while a merely busy one answers late but
-        within the miss budget.
+        by ServiceLib on the NSM core — so a crashed or wedged NSM misses
+        beats.  A merely *slow* NSM (degraded core, deep job backlog)
+        answers late: exceeding the miss budget only moves it to
+        SUSPECTED, and any heartbeat landing afterwards clears the
+        suspicion, because a late answer still resets the silence clock.
+        Death requires continued silence past ``budget * (1 + grace)`` —
+        late heartbeats and true silence are no longer the same signal,
+        so a slowdown fault cannot trigger a needless failover.
         """
         interval = self.config.heartbeat_interval
         budget = interval * self.config.heartbeat_miss
+        deadline = budget * (1.0 + self.config.heartbeat_grace)
         nsm_id = nsm.nsm_id
         while True:
             yield self.sim.timeout(interval)
             if nsm_id in self._failed_nsms or nsm_id not in self._nsms:
                 return
             queues.job.offer(Nqe(op=NqeOp.HEARTBEAT, nsm_id=nsm_id))
-            if self.sim.now - self._last_heartbeat[nsm_id] > budget:
+            silence = self.sim.now - self._last_heartbeat[nsm_id]
+            if silence <= budget:
+                if nsm_id in self._suspected_since:
+                    # A late heartbeat arrived: slow, not dead.
+                    del self._suspected_since[nsm_id]
+                    if self._traced:
+                        self.tracer.count("coreengine.suspicions_cleared")
+                continue
+            if nsm_id not in self._suspected_since:
+                self._suspected_since[nsm_id] = self.sim.now
+                counts = self.heartbeat_suspicions
+                counts[nsm_id] = counts.get(nsm_id, 0) + 1
+                if self._traced:
+                    self.tracer.count("coreengine.nsm_suspected")
+            if silence > deadline:
+                self._suspected_since.pop(nsm_id, None)
                 self._on_nsm_dead(nsm)
                 return
 
@@ -875,6 +973,49 @@ class CoreEngine:
                 start=detected,
                 finish=self.sim.now,
             )
+
+    # ------------------------------------------------------------- migration --
+    def set_migration(self, coordinator) -> None:
+        """Install/clear the active migration coordinator (one at a time)."""
+        if coordinator is not None and self._migration is not None:
+            raise RuntimeError(
+                f"{self.name} already has a migration in flight"
+            )
+        self._migration = coordinator
+
+    def _fence_stale_source(self, nsm: NSM, nqe: Nqe) -> None:
+        """A presumed-dead migration source spoke: drop and fence it.
+
+        The stale nqe's payload is released (those bytes were already —
+        or will be — delivered by the destination's copy of the flow) and
+        on the first offense the zombie NSM is crashed outright so both
+        its stack and its ServiceLib stop claiming the retired cID space.
+        """
+        chunk = nqe.data_desc
+        if chunk is not None and not chunk.freed:
+            chunk.free()
+        self.fenced_nqes += 1
+        if self._traced:
+            self.tracer.count("coreengine.migration.fenced_nqes")
+        nsm_id = nsm.nsm_id
+        if nsm_id in self._fenced_nsm_ids:
+            return
+        self._fenced_nsm_ids.add(nsm_id)
+        self._failed_nsms.add(nsm_id)  # the watchdog must not re-fail it
+        nsm.crash()
+        queues = self._nsms.get(nsm_id)
+        if queues is not None:
+            queues.servicelib.crash()
+            queues.job.drain()
+            queues.completion.drain()
+            queues.receive.drain()
+        record = {"at": self.sim.now, "nsm": nsm.name, "op": nqe.op.value}
+        self.fenced_sources.append(record)
+        if self._traced:
+            self.tracer.count("coreengine.migration.fenced_sources")
+        migration = self._migration
+        if migration is not None:
+            migration.on_source_fenced(record)
 
     # -------------------------------------------------------------- inspection --
     def attachment_of(self, vm_id: int) -> VmAttachment:

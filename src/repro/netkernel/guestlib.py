@@ -13,6 +13,7 @@ the paper's central compatibility claim.
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from dataclasses import replace
 from typing import Deque, Dict, List, Optional, Tuple
@@ -104,6 +105,7 @@ class GuestLib(SocketApi):
         op_timeout: Optional[float] = None,
         op_retries: int = 2,
         op_backoff: float = 2.0,
+        op_jitter_seed: Optional[int] = None,
     ) -> None:
         self.sim = sim
         self.vm_id = vm_id
@@ -131,6 +133,16 @@ class GuestLib(SocketApi):
         self._op_timeout = op_timeout
         self._op_retries = op_retries
         self._op_backoff = op_backoff
+        #: Decorrelated retry jitter.  ``None`` keeps the deterministic
+        #: exponential schedule bit-identical; a seed derives one private
+        #: RNG per GuestLib (vm_id-salted) so co-tenant VMs retrying after
+        #: the same NSM crash spread out instead of thundering the standby
+        #: in lockstep — while identical seeds reproduce identical runs.
+        self._op_rng = (
+            None
+            if op_jitter_seed is None
+            else random.Random(op_jitter_seed * 1000003 + vm_id)
+        )
         self._ft = op_timeout is not None
         self._pending_nqes: Dict[int, Nqe] = {}  # token -> request (ft only)
         self.op_timeouts = 0
@@ -184,13 +196,19 @@ class GuestLib(SocketApi):
         self.core.execute_call(GUESTLIB_OP_NS * NANOS, self.job_queue.offer, nqe)
         return result
 
-    def _op_deadline(self, nqe: Nqe, attempt: int) -> None:
+    def _op_deadline(self, nqe: Nqe, attempt: int, prev_delay=None) -> None:
         """An armed op timer fired: retry with backoff, or fail ETIMEDOUT.
 
         Timers charge no simulated CPU; with no faults every op completes
         first and this is a no-op, so results stay bit-identical.  Retries
         reuse the token — the FIFO rings deliver the original first, and
         ServiceLib's token dedup drops the duplicate execution.
+
+        With a jitter RNG installed the re-arm delay is *decorrelated
+        jitter* — ``uniform(base, 3 × previous delay)``, capped at the
+        exponential schedule's ceiling — instead of the synchronized
+        ``timeout × backoff^attempt`` that makes every VM retry at the
+        exact same instant after a shared-NSM crash.
         """
         token = nqe.token
         event = self._pending.get(token)
@@ -217,11 +235,19 @@ class GuestLib(SocketApi):
         if self._traced:
             self.tracer.count("guestlib.op_retries")
         self.core.execute_call(GUESTLIB_OP_NS * NANOS, self.job_queue.offer, retry)
+        base = self._op_timeout
+        delay = base * (self._op_backoff ** (attempt + 1))
+        rng = self._op_rng
+        if rng is not None:
+            cap = base * (self._op_backoff ** (self._op_retries + 1))
+            prev = prev_delay if prev_delay is not None else base
+            delay = min(cap, rng.uniform(base, prev * 3.0))
         self.sim.schedule_call(
-            self._op_timeout * (self._op_backoff ** (attempt + 1)),
+            delay,
             self._op_deadline,
             nqe,
             attempt + 1,
+            delay,
         )
 
     # ---------------------------------------------------------------- SocketApi --

@@ -52,6 +52,11 @@ class NqeOp(enum.Enum):
     # CoreEngine -> VM (receive queue): the backend connection died with
     # its NSM; GuestLib surfaces ECONNRESET on the fd.
     RESET = "reset"
+    # Migration coordinator -> NSM: a sequence-numbered marker pushed
+    # through the frozen datapath; its COMPLETION proves every nqe ahead
+    # of it has been pumped out of the pipeline (intercepted by
+    # CoreEngine like HEARTBEAT, never forwarded to a VM).
+    DRAIN_MARKER = "drain-marker"
 
 
 class NqeStatus(enum.Enum):
@@ -74,6 +79,7 @@ CONNECTION_EVENT_OPS = frozenset(
         NqeOp.COMPLETION,
         NqeOp.HEARTBEAT,
         NqeOp.RESET,
+        NqeOp.DRAIN_MARKER,
     }
 )
 
@@ -112,6 +118,11 @@ class Nqe:
     #: GuestLib retry reuses the token with ``attempt`` bumped so
     #: ServiceLib's dedup can drop the duplicate execution.
     attempt: int = 0
+    #: Invariant checking: the emitting backend's stable flow identity
+    #: (survives migration cID changes) and per-flow monotonic DATA
+    #: sequence number; stamped by ServiceLib on DATA nqes.
+    flow_uid: Optional[int] = None
+    rx_seq: Optional[int] = None
 
     @property
     def is_connection_event(self) -> bool:

@@ -158,6 +158,31 @@ class Hypervisor:
         except RuntimeError:
             return None
 
+    def migrate_nsm(self, src: NSM, dst: NSM, tenant=None, at=None, **kwargs):
+        """Launch a live migration of ``src``'s tenant stacks onto ``dst``.
+
+        Returns the :class:`repro.netkernel.migration.MigrationCoordinator`
+        immediately; the handoff runs as a simulator process.  Await
+        ``coordinator.done`` (or inspect ``coordinator.record`` after the
+        run) for the outcome.  ``tenant`` narrows the move to one VM's
+        connections (tenant-routable families only, e.g. QUIC); ``at``
+        delays the launch by that many simulated seconds (the handle
+        exists right away, so a fault plan can target it before the
+        simulation starts); ``kwargs`` forward to the coordinator (phase
+        pacing, drain budgets).
+        """
+        from .migration import MigrationCoordinator
+
+        with obs_runtime.installed(self._tracer):
+            coordinator = MigrationCoordinator(
+                self.coreengine, src, dst, tenant=tenant, **kwargs
+            )
+            if at is None:
+                coordinator.start()
+            else:
+                self.sim.schedule_call(at, coordinator.start)
+        return coordinator
+
     def find_shared_nsm(
         self, congestion_control: str, stack_family: str = "tcp"
     ) -> Optional[NSM]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from functools import partial
+from itertools import count
 from typing import Callable, Dict, Optional
 
 from ..api.errors import SocketError
@@ -38,18 +39,43 @@ INTERRUPT_DELAY = 10e-6
 INTERRUPT_COST_NS = 2000.0
 
 
+#: Stable flow identities for the invariant checker: a backend keeps its
+#: ``uid`` across a migration even though its cID changes.
+_backend_uids = count(1)
+
+
 class _Backend:
-    """ServiceLib's per-cID socket state."""
+    """ServiceLib's per-cID socket state.
 
-    __slots__ = ("cid", "region", "cc_name", "bound_port", "conn", "listener")
+    ``owner`` is the ServiceLib currently serving this backend.  Armed
+    receive callbacks capture the ServiceLib they were armed on; when a
+    live migration moves the backend, those stale closures delegate to
+    ``owner`` so in-flight data lands on the destination NSM instead of
+    being emitted under the source's retired <NSM ID, cID>.
+    """
 
-    def __init__(self, cid: int, region: HugePageRegion) -> None:
+    __slots__ = (
+        "cid", "region", "cc_name", "bound_port", "conn", "listener",
+        "owner", "uid", "rx_seq", "rx_stalled",
+    )
+
+    def __init__(
+        self, cid: int, region: HugePageRegion, owner: "ServiceLib" = None
+    ) -> None:
         self.cid = cid
         self.region = region
         self.cc_name: Optional[str] = None
         self.bound_port: Optional[int] = None
         self.conn: Optional[TcpConnection] = None
         self.listener: Optional[Listener] = None
+        self.owner = owner
+        self.uid = next(_backend_uids)
+        #: Monotonic per-flow DATA sequence (stamped on every DATA nqe;
+        #: the invariant checker asserts no-dup/no-reorder from it).
+        self.rx_seq = 0
+        #: A readiness callback fired while the owner was frozen; the
+        #: thaw re-arms exactly these (the rest are still armed).
+        self.rx_stalled = False
 
 
 class ServiceLib:
@@ -91,6 +117,14 @@ class ServiceLib:
         self.crashed = False
         #: Slow-down fault: per-op cost multiplier (1.0 = healthy).
         self.degraded = 1.0
+        #: Migration freeze: new receive reads stall (quiescing the
+        #: per-connection state for snapshotting) while in-flight copy
+        #: chains still deliver — dropping them would lose bytes the
+        #: stack already consumed from its receive buffer.
+        self.frozen = False
+        #: Optional repro.faults.invariants checker observing this NSM's
+        #: DATA emissions (None = zero-cost).
+        self.invariants = None
         self._base_op_cost = self.op_cost
         self._pump = None
         #: Retry dedup (on when GuestLib op timeouts are armed): bounded
@@ -377,7 +411,7 @@ class ServiceLib:
     def _op_socket(self, nqe: Nqe) -> None:
         # args carries the tenant's huge-page region (mapped at VM boot).
         region: HugePageRegion = nqe.args
-        self._backends[nqe.cid] = _Backend(nqe.cid, region)
+        self._backends[nqe.cid] = _Backend(nqe.cid, region, owner=self)
         # No completion: CoreEngine already answered the guest with an fd.
 
     def _op_bind(self, nqe: Nqe) -> None:
@@ -498,6 +532,17 @@ class ServiceLib:
         """
         self._complete_ok(nqe)
 
+    def _op_drain_marker(self, nqe: Nqe) -> None:
+        """Migration drain marker: echo ``(migration_id, seq)`` back.
+
+        Because the job ring and this ServiceLib are FIFO, the marker's
+        completion proves every job nqe enqueued ahead of it has been
+        fully executed — the coordinator counts marker completions to
+        know the frozen pipeline is empty.  Intercepted by CoreEngine's
+        completion mover (``args=DRAIN_MARKER``), never forwarded to VMs.
+        """
+        self._complete_ok(nqe, nqe.args)
+
     def _op_setsockopt(self, nqe: Nqe) -> None:
         backend = self._backend(nqe)
         option, value = nqe.args
@@ -508,11 +553,56 @@ class ServiceLib:
         backend.cc_name = value
         self._complete_ok(nqe)
 
+    # ------------------------------------------------------------- migration --
+    def freeze(self) -> None:
+        """Stop starting new receive reads (migration FREEZE phase)."""
+        self.frozen = True
+
+    def thaw(self) -> None:
+        """Resume receive service for every backend this NSM now owns.
+
+        Safe on a never-frozen destination: only backends whose readiness
+        callback fired into a frozen source (``rx_stalled``) are re-armed;
+        the rest still hold their original armed callback, which
+        delegates to the new owner when it fires.
+        """
+        self.frozen = False
+        for backend in self._backends.values():
+            if backend.rx_stalled:
+                backend.rx_stalled = False
+                if backend.conn is not None:
+                    self._start_rx(backend)
+
+    def remove_backend(self, cid: int) -> Optional[_Backend]:
+        """Detach a backend without closing its connection (migration)."""
+        return self._backends.pop(cid, None)
+
+    def adopt_backend(self, backend: _Backend, cid: int) -> None:
+        """Take ownership of a migrated backend under a new cID.
+
+        Re-keys the backend, re-homes stale armed callbacks via ``owner``,
+        and re-binds listener accept callbacks so connections accepted
+        after the move are allocated cIDs from *this* NSM's space.
+        """
+        backend.cid = cid
+        backend.owner = self
+        self._backends[cid] = backend
+        if backend.listener is not None:
+            backend.listener.on_new_connection = (
+                lambda conn, b=backend: self._on_accept(b, conn)
+            )
+
+    def backend_of(self, cid: int) -> Optional[_Backend]:
+        return self._backends.get(cid)
+
+    def backends(self) -> Dict[int, _Backend]:
+        return self._backends
+
     # ------------------------------------------------- stack-driven callbacks --
     def _on_accept(self, listen_backend: _Backend, conn: TcpConnection) -> None:
         """nk_new_accept_callback: a child connection finished its handshake."""
         cid = self.allocate_cid()
-        child = _Backend(cid, listen_backend.region)
+        child = _Backend(cid, listen_backend.region, owner=self)
         child.conn = conn
         self._backends[cid] = child
         self._start_rx(child)
@@ -548,8 +638,17 @@ class ServiceLib:
         )
 
     def _rx_ready(self, backend: _Backend, _event) -> None:
+        owner = backend.owner
+        if owner is not None and owner is not self:
+            # The backend migrated after this callback was armed: continue
+            # on the NSM that owns it now (its queues, its <NSM ID, cID>).
+            owner._rx_ready(backend, _event)
+            return
         if self.crashed:
             return  # dead NSMs deliver nothing (and stop re-arming)
+        if self.frozen:
+            backend.rx_stalled = True  # thaw() re-arms
+            return
         taken = backend.conn.recv_buffer.try_read(self.rx_chunk)
         if taken is None:
             self._rx_wait(backend)
@@ -582,6 +681,11 @@ class ServiceLib:
         self._rx_staged(backend, chunk, root, stage)
 
     def _rx_staged(self, backend: _Backend, chunk, root, stage) -> None:
+        owner = backend.owner
+        if owner is not None and owner is not self:
+            # Copy chain straddled a migration: deliver on the new owner.
+            owner._rx_staged(backend, chunk, root, stage)
+            return
         if self.crashed:  # copy chain outlived the crash: drop the data
             if not chunk.freed:
                 chunk.free()
@@ -595,6 +699,11 @@ class ServiceLib:
             data_desc=chunk,
             span=root,
         )
+        nqe.flow_uid = backend.uid
+        nqe.rx_seq = backend.rx_seq
+        backend.rx_seq += 1
+        if self.invariants is not None:
+            self.invariants.on_data_emitted(backend.uid, nqe.rx_seq, chunk.size)
         ring = self.receive_queue
         if ring.is_full:  # backpressure: block delivery, not the ring
             self.sim.process(self._rx_push_slow(backend, nqe))
@@ -615,4 +724,5 @@ ServiceLib._OP_HANDLERS = {
     NqeOp.CLOSE: ServiceLib._op_close,
     NqeOp.SETSOCKOPT: ServiceLib._op_setsockopt,
     NqeOp.HEARTBEAT: ServiceLib._op_heartbeat,
+    NqeOp.DRAIN_MARKER: ServiceLib._op_drain_marker,
 }

@@ -342,6 +342,72 @@ class QuicStack:
     ) -> None:
         self._tickets[(tenant, remote.ip, remote.port)] = ticket
 
+    # --------------------------------------------------------------- migration --
+    def release_connection(self, conn: QuicConnection) -> Optional[int]:
+        """Detach a live connection for migration (no CONNECTION_CLOSE).
+
+        The connection keeps its streams, sequence state and CC intact;
+        only the cid route, peer-reuse entry and core assignment leave
+        this stack.  Returns the scid, or None if not ours any more.
+        """
+        if self._by_cid.get(conn.scid) is not conn:
+            return None
+        del self._by_cid[conn.scid]
+        peer_key = (conn.tenant, conn.remote.ip, conn.remote.port)
+        if self._conn_by_peer.get(peer_key) is conn:
+            del self._conn_by_peer[peer_key]
+        self._core_of.pop(id(conn), None)
+        return conn.scid
+
+    def adopt_connection(self, conn: QuicConnection) -> None:
+        """Re-home a migrated live connection onto this stack.
+
+        QUIC routes by connection id, so the adopting stack may answer
+        from a *different* IP: the peer sees the new source address and
+        rebinds its path (counted in ``stats.migrations``) — this is
+        what makes per-tenant QUIC migration work without IP takeover.
+        """
+        if conn.scid in self._by_cid:
+            raise RuntimeError(f"cid collision on {conn.scid}")
+        self._by_cid[conn.scid] = conn
+        if conn.is_client and not conn.closed:
+            peer_key = (conn.tenant, conn.remote.ip, conn.remote.port)
+            self._conn_by_peer.setdefault(peer_key, conn)
+        conn.stack = self
+        conn.local = Endpoint(self.ip, conn.local.port)
+        self._assign_core(conn)
+
+    def release_listener(self, listener: QuicListener) -> None:
+        if self._listeners.get(listener.port) is listener:
+            del self._listeners[listener.port]
+
+    def adopt_listener(self, listener: QuicListener) -> None:
+        if (
+            listener.port in self._listeners
+            and not self._listeners[listener.port].closed
+        ):
+            raise RuntimeError(f"port {listener.port} already listening")
+        listener.stack = self
+        self._listeners[listener.port] = listener
+
+    def move_tickets(self, dst: "QuicStack", tenant: Optional[int] = None) -> int:
+        """Hand 0-RTT resumption state to ``dst`` (all tenants, or one).
+
+        Client-side cached tickets and server-side issued tickets both
+        move, so resumption keeps working across the migration.  Returns
+        how many ticket entries moved.
+        """
+        moved = 0
+        for key in list(self._tickets):
+            if tenant is None or key[0] == tenant:
+                dst._tickets[key] = self._tickets.pop(key)
+                moved += 1
+        for ticket in list(self._issued):
+            if tenant is None or self._issued[ticket] == tenant:
+                dst._issued[ticket] = self._issued.pop(ticket)
+                moved += 1
+        return moved
+
     # ------------------------------------------------------------- bookkeeping --
     def forget(self, conn: QuicConnection) -> None:
         """Remove a closed connection from the routing tables."""

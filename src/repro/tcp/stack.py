@@ -325,6 +325,48 @@ class TcpStack:
             )
         )
 
+    # --------------------------------------------------------------- migration --
+    def release_connection(self, conn: TcpConnection) -> Optional[ConnKey]:
+        """Detach a live connection for migration (no FIN, no state loss).
+
+        The connection keeps its whole sequence/CC/buffer state; only the
+        demux entry and core assignment leave this stack.  Returns the
+        demux key, or None if the connection was not (or no longer) ours.
+        """
+        key = (conn.local.port, conn.remote.ip, conn.remote.port)
+        if self._connections.get(key) is not conn:
+            return None
+        del self._connections[key]
+        self._core_of.pop(id(conn), None)
+        return key
+
+    def adopt_connection(self, conn: TcpConnection) -> None:
+        """Re-home a migrated live connection onto this stack.
+
+        Only valid when this stack answers for the connection's local IP
+        (whole-NSM migration moves the IP via ``take_over_ip`` in the
+        same simulated instant, so the wire 4-tuple never changes and the
+        peer notices nothing).
+        """
+        key = (conn.local.port, conn.remote.ip, conn.remote.port)
+        if key in self._connections:
+            raise RuntimeError(f"connection collision on {key}")
+        self._connections[key] = conn
+        conn.stack = self
+        self._assign_core(conn)
+
+    def release_listener(self, listener: Listener) -> None:
+        if self._listeners.get(listener.port) is listener:
+            del self._listeners[listener.port]
+
+    def adopt_listener(self, listener: Listener) -> None:
+        if (
+            listener.port in self._listeners
+            and not self._listeners[listener.port].closed
+        ):
+            raise RuntimeError(f"port {listener.port} already listening")
+        self._listeners[listener.port] = listener
+
     # ------------------------------------------------------------- bookkeeping --
     def forget(self, conn: TcpConnection) -> None:
         """Remove a fully closed connection from the demux table."""

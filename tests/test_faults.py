@@ -218,6 +218,102 @@ def test_failover_resets_inflight_ops_typed():
     assert testbed.hypervisor_b.coreengine.failovers
 
 
+def test_slow_nsm_is_suspected_not_killed():
+    """A merely-slow NSM (NSM_SLOWDOWN) trips suspicion, not failover.
+
+    Heartbeat budget is 3 ms (1 ms interval x 3 misses) and the kill
+    deadline is twice that under the default grace factor.  A ~4.5 ms
+    heartbeat gap lands between the two: the watchdog must record a
+    suspicion, then clear it when the late heartbeat arrives — killing
+    a live NSM here would reset every tenant connection for nothing.
+    """
+    config = CoreEngineConfig(op_timeout=0.002, heartbeat_interval=0.001)
+    testbed = make_lan_testbed(coreengine_config=config)
+    nsm_b = testbed.hypervisor_b.boot_nsm(NsmSpec())
+    testbed.hypervisor_b.boot_netkernel_vm("s", nsm_b)
+    testbed.hypervisor_b.enable_failover(standbys=1)
+    ce = testbed.hypervisor_b.coreengine
+    # One ServiceLib op at 15000x the 300 ns base cost stalls heartbeat
+    # service for ~4.5 ms before the degradation heals.
+    testbed.sim.schedule_call(0.02, nsm_b.servicelib.set_degraded, 15000.0)
+    testbed.sim.schedule_call(0.024, nsm_b.servicelib.set_degraded, 1.0)
+    testbed.sim.run(until=0.1)
+    assert ce.heartbeat_suspicions.get(nsm_b.nsm_id, 0) >= 1
+    assert not ce.failovers
+    assert not nsm_b.failed
+    assert nsm_b.nsm_id not in ce._suspected_since  # suspicion cleared
+
+
+def test_zero_grace_kills_the_slow_nsm():
+    """Without the grace window the same slowdown is a false positive."""
+    config = CoreEngineConfig(
+        op_timeout=0.002, heartbeat_interval=0.001, heartbeat_grace=0.0
+    )
+    testbed = make_lan_testbed(coreengine_config=config)
+    nsm_b = testbed.hypervisor_b.boot_nsm(NsmSpec())
+    testbed.hypervisor_b.boot_netkernel_vm("s", nsm_b)
+    testbed.hypervisor_b.enable_failover(standbys=1)
+    ce = testbed.hypervisor_b.coreengine
+    testbed.sim.schedule_call(0.02, nsm_b.servicelib.set_degraded, 15000.0)
+    testbed.sim.schedule_call(0.024, nsm_b.servicelib.set_degraded, 1.0)
+    testbed.sim.run(until=0.1)
+    assert ce.failovers and ce.failovers[0]["nsm"] == nsm_b.name
+    assert nsm_b.failed
+
+
+def test_failover_racing_hostile_tenant_spares_innocents():
+    """Crashing an abused NSM must not evict other NSMs' connections.
+
+    A hostile tenant floods its own NSM's rings while an innocent tenant
+    on a *different* NSM of the same host streams bulk data.  When the
+    abused NSM is crashed mid-flood and failed over, eviction must be
+    scoped to the dead NSM: the innocent tenant sees no resets and its
+    conntable mappings stay put.
+    """
+    from repro.experiments.chaos import ChaosReceiver, ChaosSender
+
+    config = CoreEngineConfig(op_timeout=0.002, heartbeat_interval=0.001)
+    testbed = make_lan_testbed(coreengine_config=config)
+    hyp_a, hyp_b = testbed.hypervisor_a, testbed.hypervisor_b
+    nsm_a = hyp_a.boot_nsm(NsmSpec())
+    nsm_hostile = hyp_b.boot_nsm(NsmSpec(), name="nsm_hostile")
+    nsm_innocent = hyp_b.boot_nsm(NsmSpec(), name="nsm_innocent")
+    vm_client = hyp_a.boot_netkernel_vm("client", nsm_a)
+    vm_hostile = hyp_b.boot_netkernel_vm("hostile", nsm_hostile)
+    vm_innocent = hyp_b.boot_netkernel_vm("innocent", nsm_innocent)
+    hyp_b.enable_failover(standbys=1)
+    ce = hyp_b.coreengine
+    rx = ChaosReceiver(testbed.sim, vm_innocent.api, 5000)
+    ChaosSender(testbed.sim, vm_client.api, Endpoint(vm_innocent.api.ip, 5000))
+    plan = FaultPlan.scripted(
+        [
+            Fault(
+                at=0.02,
+                kind=FaultKind.HOSTILE_TENANT,
+                target="bad",
+                duration=0.06,
+                count=8,
+            ),
+            Fault(at=0.04, kind=FaultKind.NSM_CRASH, target="bad-nsm"),
+        ]
+    )
+    injector = FaultInjector(testbed.sim, plan)
+    injector.register_tenant("bad", ce.attachment_of(vm_hostile.vm_id), ce)
+    injector.register_nsm("bad-nsm", nsm_hostile)
+    injector.start()
+    testbed.sim.run(until=0.12)
+    assert ce.failovers and ce.failovers[0]["nsm"] == "nsm_hostile"
+    assert vm_innocent.api.resets_seen == 0
+    assert rx.errors == 0
+    # The innocent flow kept moving bytes well past the crash...
+    assert rx.last_success_at > 0.05
+    # ...and its mappings still point at its own, living NSM.
+    conns = ce.table.connections_of_vm(vm_innocent.vm_id)
+    assert conns
+    for key in conns:
+        assert ce.table.to_nsm(*key)[0] == nsm_innocent.nsm_id
+
+
 def test_standby_pool_exhaustion_degrades_gracefully():
     """No standby left: connections still reset, nothing deadlocks."""
     config = CoreEngineConfig(op_timeout=0.002, heartbeat_interval=0.001)
