@@ -89,6 +89,7 @@ def run_figure4(args: argparse.Namespace) -> str:
         shards=_shards(args),
         pool=_pool(args),
         shard_executor=getattr(args, "shard_executor", "serial") or "serial",
+        fidelity=getattr(args, "fidelity", "packet"),
         **_shard_kwargs(args),
     ).table()
 
@@ -102,6 +103,7 @@ def run_figure5(args: argparse.Namespace) -> str:
         jobs=_jobs(args),
         shards=_shards(args),
         pool=_pool(args),
+        fidelity=getattr(args, "fidelity", "packet"),
         **_shard_kwargs(args),
     ).table()
 
@@ -167,6 +169,7 @@ def run_bench(args: argparse.Namespace) -> str:
             sharded=not args.no_sharded,
             shards=_shards(args),
             pool=_pool(args),
+            fidelity=getattr(args, "fidelity", "packet"),
         )
         render = bench_scale.render
         out = args.out if args.out is not None else "BENCH_scale.json"
@@ -187,6 +190,10 @@ def run_bench(args: argparse.Namespace) -> str:
             json.dump(result, fh, indent=2)
             fh.write("\n")
         lines.append(f"results -> {out}")
+        if args.which == "scale":
+            table_out = (out[:-5] if out.endswith(".json") else out) + ".tbl"
+            bench_scale.points_table(result).write(table_out)
+            lines.append(f"columnar points -> {table_out}")
     return "\n".join(lines)
 
 
@@ -463,6 +470,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="how sharded points execute: in-process windows "
                            "(serial/thread) or one forked worker per shard "
                            "(process)")
+    fig4.add_argument("--fidelity", choices=["packet", "fluid", "auto"],
+                      default="packet",
+                      help="engine fidelity: packet (exact, default), auto "
+                           "(fluid fast path with packet-accurate "
+                           "promotion), fluid")
     add_jobs(fig4)
     add_shards(fig4)
     fig4.set_defaults(runner=run_figure4)
@@ -471,6 +483,11 @@ def build_parser() -> argparse.ArgumentParser:
     fig5.add_argument("--duration", type=float, default=40.0)
     fig5.add_argument("--seeds", type=int, nargs="+", default=[1, 2, 3],
                       help="loss-process realizations to average")
+    fig5.add_argument("--fidelity", choices=["packet", "fluid", "auto"],
+                      default="packet",
+                      help="engine fidelity: packet (exact, default), auto "
+                           "(fluid fast path with packet-accurate "
+                           "promotion), fluid")
     add_jobs(fig5)
     add_shards(fig5)
     fig5.set_defaults(runner=run_figure5)
@@ -494,6 +511,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scale: skip the serial-vs-parallel sweep")
     bench.add_argument("--no-sharded", action="store_true",
                        help="scale: skip the intra-run sharded section")
+    bench.add_argument("--fidelity", choices=["packet", "fluid", "auto"],
+                       default="packet",
+                       help="scale: also measure the hybrid-fidelity cells "
+                            "(packet-equivalent events/s vs the packet twin)")
     bench.add_argument("--out", default=None,
                        help="result JSON path (default BENCH_<which>.json, "
                             "'' to skip writing)")

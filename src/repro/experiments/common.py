@@ -137,6 +137,7 @@ __all__ = [
     "make_cluster_testbed",
     "make_lan_testbed",
     "make_wan_testbed",
+    "install_fluid",
     "LAN_RATE_BPS",
     "LAN_LINE_RATE_GBPS",
     "WAN_UPLINK_BPS",
@@ -166,6 +167,47 @@ def default_wan_loss(seed: int = 1) -> LossModel:
     the calibration rationale and its limits.
     """
     return EpisodicLoss(mean_interval=8.0, burst_len=1, background_p=3e-4, seed=seed)
+
+
+def install_fluid(testbed, mode: str = "auto"):
+    """Install a hybrid-fidelity controller on a two-host testbed.
+
+    Must run after the testbed factory and *before* NSMs/VMs boot (TCP
+    stacks register with the controller at construction).  Returns the
+    :class:`~repro.sim.fluid.FidelityController`, or None when the
+    testbed cannot host fluid flows — then the run is pure packet
+    fidelity, bit-identical to ``--fidelity packet``:
+
+    * ``mode`` is "packet"/None — fluid not requested;
+    * the build is sharded — conservative-lookahead windows exchange
+      per-packet channel events, which the fluid bypass would starve;
+    * either wire direction has a loss model — loss episodes are exactly
+      the dynamics packet fidelity exists to model (so figure 5's WAN,
+      with its calibrated EpisodicLoss uplink, always runs packets).
+    """
+    from ..net.loss import NoLoss
+    from ..net.packet import wire_bytes
+    from ..sim.fluid import FidelityController
+
+    if mode in (None, "packet"):
+        return None
+    if testbed.sharded is not None:
+        return None
+    fwd, rev = testbed.wire.a_to_b, testbed.wire.b_to_a
+    if not isinstance(fwd.loss, NoLoss) or not isinstance(rev.loss, NoLoss):
+        return None
+    controller = FidelityController(testbed.sim, mode=mode)
+    # Route capacity is TCP goodput: line rate less framing overhead at
+    # the default wire MSS (the 37.6-of-40 Gbps factor in §4.2).
+    mss = 1448
+    goodput = mss / wire_bytes(mss)
+    controller.add_route(
+        "10.1", "10.2", fwd.rate_bps / 8.0 * goodput, fwd.propagation_delay
+    )
+    controller.add_route(
+        "10.2", "10.1", rev.rate_bps / 8.0 * goodput, rev.propagation_delay
+    )
+    return controller
 
 
 class _RunnableTestbed:
@@ -229,6 +271,7 @@ def make_lan_testbed(
     tracers: Optional[Sequence[Tracer]] = None,
     shard_plan: str = "host",
     ring_latency: Optional[float] = None,
+    offload: Optional[OffloadConfig] = None,
 ) -> LanTestbed:
     """Two back-to-back hosts, as in the prototype testbed (§4.1).
 
@@ -254,13 +297,13 @@ def make_lan_testbed(
         sim_a = _enter_shard(sharded, shard_a, tracers)
         host_a = PhysicalHost(
             sim_a, "hostA", "10.1.255.1", sriov=sriov,
-            addresses=AddressAllocator("10.1"),
+            addresses=AddressAllocator("10.1"), offload=offload,
         )
         hypervisor_a = Hypervisor(sim_a, host_a, coreengine_config)
         sim_b = _enter_shard(sharded, shard_b, tracers)
         host_b = PhysicalHost(
             sim_b, "hostB", "10.2.255.1", sriov=sriov,
-            addresses=AddressAllocator("10.2"),
+            addresses=AddressAllocator("10.2"), offload=offload,
         )
         hypervisor_b = Hypervisor(sim_b, host_b, coreengine_config)
         wire = DuplexLink(
@@ -292,10 +335,12 @@ def make_lan_testbed(
         )
     sim = _trace_sim(tracer)
     host_a = PhysicalHost(
-        sim, "hostA", "10.1.255.1", sriov=sriov, addresses=AddressAllocator("10.1")
+        sim, "hostA", "10.1.255.1", sriov=sriov,
+        addresses=AddressAllocator("10.1"), offload=offload,
     )
     host_b = PhysicalHost(
-        sim, "hostB", "10.2.255.1", sriov=sriov, addresses=AddressAllocator("10.2")
+        sim, "hostB", "10.2.255.1", sriov=sriov,
+        addresses=AddressAllocator("10.2"), offload=offload,
     )
     wire = DuplexLink(
         sim,

@@ -81,6 +81,7 @@ def _build_lan_world(
     coreengine_config=None,
     tracer=None,
     tracers=None,
+    fidelity: str = "packet",
 ) -> _LanWorld:
     """Build the figure-4 workload (module-level: shard workers call it)."""
     if mode not in ("native", "netkernel"):
@@ -97,6 +98,12 @@ def _build_lan_world(
         shard_plan=shard_plan,
         ring_latency=ring_latency,
     )
+    # Install before any VM/NSM boots: stacks snapshot sim.fidelity at
+    # construction.  No-op (returns None) at packet fidelity or when the
+    # build is sharded.
+    from .common import install_fluid
+
+    install_fluid(testbed, mode=fidelity)
     overrides = {"rcvbuf": socket_buf, "sndbuf": socket_buf}
 
     if mode == "netkernel":
@@ -183,6 +190,7 @@ def measure_lan_throughput(
     shard_plan: str = "host",
     ring_latency: Optional[float] = None,
     adaptive: bool = False,
+    fidelity: str = "packet",
 ) -> float:
     """Aggregate goodput (Gbps) of ``flows`` bulk flows on the LAN testbed.
 
@@ -239,7 +247,7 @@ def measure_lan_throughput(
     world = _build_lan_world(
         mode, flows, congestion_control, duration, warmup, socket_buf,
         shards, shard_plan, ring_latency, stack_family,
-        coreengine_config, tracer, tracers,
+        coreengine_config, tracer, tracers, fidelity,
     )
     testbed = world.testbed
     if adaptive and testbed.sharded is not None:
@@ -276,6 +284,7 @@ def _measure_point(
     shard_executor: str = "serial",
     ring_latency: Optional[float] = None,
     adaptive: bool = False,
+    fidelity: str = "packet",
 ) -> float:
     return measure_lan_throughput(
         mode,
@@ -287,6 +296,7 @@ def _measure_point(
         shard_executor=shard_executor,
         ring_latency=ring_latency,
         adaptive=adaptive,
+        fidelity=fidelity,
     )
 
 
@@ -301,6 +311,7 @@ def run_figure4(
     shard_executor: str = "serial",
     ring_latency: Optional[float] = None,
     adaptive: bool = False,
+    fidelity: str = "packet",
 ) -> Figure4Result:
     """Regenerate Figure 4: one row per flow count.
 
@@ -314,7 +325,7 @@ def run_figure4(
 
     grid = [
         (mode, flows, duration, warmup, shards,
-         shard_plan, shard_executor, ring_latency, adaptive)
+         shard_plan, shard_executor, ring_latency, adaptive, fidelity)
         for flows in flow_counts
         for mode in ("native", "netkernel")
     ]

@@ -15,6 +15,7 @@ Every injection and recovery is appended to ``injected`` / ``recovered``
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Optional
 
 from ..net.link import Link
@@ -134,6 +135,20 @@ class FaultInjector:
     # -- dispatch ----------------------------------------------------------
     def _fire(self, fault: Fault) -> None:
         target = self._lookup(fault)
+        if self.sim.fidelity is not None:
+            # Any active fault window forces packet fidelity: the analytic
+            # model is only valid on a healthy, loss-free path.  Crash
+            # kinds block re-promotion permanently — their "recovery" is
+            # failover/rollback, which reshapes the topology.
+            terminal = fault.kind in (
+                FaultKind.NSM_CRASH,
+                FaultKind.DEST_CRASH_MID_TRANSFER,
+                FaultKind.SPLIT_BRAIN,
+            )
+            self.sim.fidelity.on_fault_fired(
+                fault.kind.value, getattr(fault, "duration", 0.0) or 0.0,
+                terminal=terminal,
+            )
         self._record(self.injected, fault)
         if self.tracer.enabled:
             self.tracer.count(f"faults.injected.{fault.kind.value}")
@@ -162,7 +177,10 @@ class FaultInjector:
             self.sim.schedule_call(fault.duration, self._restore_nic, fault)
         elif fault.kind is FaultKind.LINK_LOSS:
             original = target.loss
-            seed = (self.plan.seed or 0) ^ hash(fault.target) & 0xFFFF
+            # crc32, not hash(): str hash is randomized per process
+            # (PYTHONHASHSEED), which would make the loss realization —
+            # and therefore every seeded chaos run — non-reproducible.
+            seed = (self.plan.seed or 0) ^ zlib.crc32(fault.target.encode()) & 0xFFFF
             target.loss = IIDLoss(fault.loss_p, seed=seed)
             self.sim.schedule_call(fault.duration, self._restore_link, fault, original)
         elif fault.kind is FaultKind.HOSTILE_TENANT:

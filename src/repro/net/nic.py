@@ -76,9 +76,13 @@ class NIC:
     def fail(self) -> None:
         """Inject a NIC failure (used by failure-detection experiments)."""
         self.failed = True
+        if self.sim.fidelity is not None:
+            self.sim.fidelity.on_nic_failed(self)
 
     def repair(self) -> None:
         self.failed = False
+        if self.sim.fidelity is not None:
+            self.sim.fidelity.on_nic_repaired(self)
 
     def transmit(self, packet: Packet) -> None:
         """Send a packet toward the network."""

@@ -222,6 +222,11 @@ class CoreEngine:
         self._nsms: Dict[int, _NsmQueues] = {}
         self._next_vm_id = 1
         self.nqes_copied = 0
+        #: Hybrid fidelity: DATA nqes switched that carried an aggregated
+        #: fluid byte-credit (and the bytes they covered) — the receive
+        #: path's measure of how much per-nqe work the fluid model elided.
+        self.fluid_credits_switched = 0
+        self.fluid_credit_bytes = 0
         # --- fault tolerance ---------------------------------------------
         #: Called with the dead NSM when the watchdog fires; returns a
         #: standby NSM (or None).  Installed by Hypervisor.enable_failover.
@@ -605,6 +610,10 @@ class CoreEngine:
                 vm_id, child_fd, nsm.nsm_id, child_cid, family=nsm.spec.stack_family
             )
             nqe.result = child_fd
+        if nqe.fluid_credit:
+            self.fluid_credits_switched += 1
+            if nqe.data_desc is not None:
+                self.fluid_credit_bytes += nqe.data_desc.size
         inv = self.invariant_checker
         if inv is not None and nqe.flow_uid is not None:
             chunk = nqe.data_desc

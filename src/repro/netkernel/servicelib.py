@@ -109,6 +109,10 @@ class ServiceLib:
         self.rx_chunk = getattr(nsm.spec, "rx_chunk_bytes", RX_CHUNK_BYTES)
         self._backends: Dict[int, _Backend] = {}
         self.ops_handled = 0
+        #: Hybrid fidelity: DATA nqes emitted as aggregated byte-credits
+        #: for fluid-promoted connections (and the bytes they carried).
+        self.fluid_credit_nqes = 0
+        self.fluid_credit_bytes = 0
         self.tracer = obs_runtime.get_tracer()
         self._traced = self.tracer.enabled
         # --- fault tolerance ---------------------------------------------
@@ -649,7 +653,19 @@ class ServiceLib:
         if self.frozen:
             backend.rx_stalled = True  # thaw() re-arms
             return
-        taken = backend.conn.recv_buffer.try_read(self.rx_chunk)
+        conn = backend.conn
+        cap = self.rx_chunk
+        credit = False
+        if getattr(conn, "_fluid_flow", None) is not None:
+            # The connection is fluid-promoted: the analytic model fills
+            # the receive buffer in large rate-integrated chunks, so one
+            # aggregated byte-credit nqe stands in for the per-rx_chunk
+            # stream the packet path would emit.  Cap at half the region
+            # so the slow alloc path can always make progress.
+            cap = max(cap, min(conn.recv_buffer.available,
+                               backend.region.capacity // 2))
+            credit = cap > self.rx_chunk
+        taken = conn.recv_buffer.try_read(cap)
         if taken is None:
             self._rx_wait(backend)
             return
@@ -670,21 +686,26 @@ class ServiceLib:
         if taken <= region.free_bytes:
             chunk = region.try_alloc(taken)
             region.copy_call(
-                self.core, taken, self._rx_staged, backend, chunk, root, stage
+                self.core, taken, self._rx_staged, backend, chunk, root, stage,
+                credit,
             )
         else:  # region exhausted: block until space frees
-            self.sim.process(self._rx_alloc_slow(backend, taken, root, stage))
+            self.sim.process(
+                self._rx_alloc_slow(backend, taken, root, stage, credit)
+            )
 
-    def _rx_alloc_slow(self, backend: _Backend, taken: int, root, stage):
+    def _rx_alloc_slow(self, backend: _Backend, taken: int, root, stage,
+                       credit: bool = False):
         chunk = yield backend.region.alloc(taken)
         yield backend.region.copy(self.core, taken)
-        self._rx_staged(backend, chunk, root, stage)
+        self._rx_staged(backend, chunk, root, stage, credit)
 
-    def _rx_staged(self, backend: _Backend, chunk, root, stage) -> None:
+    def _rx_staged(self, backend: _Backend, chunk, root, stage,
+                   credit: bool = False) -> None:
         owner = backend.owner
         if owner is not None and owner is not self:
             # Copy chain straddled a migration: deliver on the new owner.
-            owner._rx_staged(backend, chunk, root, stage)
+            owner._rx_staged(backend, chunk, root, stage, credit)
             return
         if self.crashed:  # copy chain outlived the crash: drop the data
             if not chunk.freed:
@@ -699,6 +720,10 @@ class ServiceLib:
             data_desc=chunk,
             span=root,
         )
+        if credit:
+            nqe.fluid_credit = True
+            self.fluid_credit_nqes += 1
+            self.fluid_credit_bytes += chunk.size
         nqe.flow_uid = backend.uid
         nqe.rx_seq = backend.rx_seq
         backend.rx_seq += 1

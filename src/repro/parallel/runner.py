@@ -194,32 +194,63 @@ def unpack_metrics(buf: bytes) -> Dict[str, Any]:
     return value
 
 
-def _ship_via_shm(packed: bytes):
-    """Create+fill a segment in the worker; the parent owns its cleanup."""
+#: Initial size of a pool worker's reusable result segment.  Metric
+#: dicts are a few hundred bytes; 64 KB means growth is essentially
+#: never needed.
+_SHM_SEGMENT_MIN = 65536
+
+
+def _ensure_worker_segment(segment, size: int):
+    """Return a worker-owned segment of at least ``size`` bytes.
+
+    The segment is created ONCE per worker and reused for every result —
+    a create+unlink per result costs ~115 us of syscalls (open,
+    ftruncate, mmap, unlink) against sub-microsecond for rewriting a
+    mapped segment, which is how the shm transport managed to lose to
+    the plain pickle pipe in the sweep.  Growth (re-create at the next
+    power of two) only happens between results, after the parent has
+    consumed the previous one, so the old mapping is never read again.
+    """
     from multiprocessing import resource_tracker, shared_memory
 
-    segment = shared_memory.SharedMemory(create=True, size=max(1, len(packed)))
-    segment.buf[: len(packed)] = packed
-    # This process exits while the parent still needs the segment: stop
-    # our resource tracker from unlinking it at interpreter shutdown.
+    if segment is not None and segment.size >= size:
+        return segment
+    want = _SHM_SEGMENT_MIN
+    while want < size:
+        want *= 2
+    if segment is not None:
+        old = segment
+        segment = None
+        old.close()
+        try:
+            old.unlink()
+        except FileNotFoundError:
+            pass
+    segment = shared_memory.SharedMemory(create=True, size=want)
+    # The worker exits while the parent still maps the segment: stop our
+    # resource tracker from unlinking it at interpreter shutdown (the
+    # parent unlinks at pool teardown).
     try:
         resource_tracker.unregister(segment._name, "shared_memory")
     except Exception:
         pass
-    name = segment.name
-    segment.close()
-    return name, len(packed)
+    return segment
 
 
-def _receive_from_shm(name: str, size: int) -> Dict[str, Any]:
+def _receive_from_shm(name: str, size: int, cache: Dict[str, Any]) -> Dict[str, Any]:
+    """Read one packed result out of a worker's reusable segment.
+
+    Mappings are cached per segment name — attaching costs an open+mmap,
+    so the parent pays it once per worker (plus once per rare growth),
+    not once per result.  Cached segments are unlinked at pool teardown.
+    """
     from multiprocessing import shared_memory
 
-    segment = shared_memory.SharedMemory(name=name)
-    try:
-        return unpack_metrics(bytes(segment.buf[:size]))
-    finally:
-        segment.close()
-        segment.unlink()
+    segment = cache.get(name)
+    if segment is None:
+        segment = shared_memory.SharedMemory(name=name)
+        cache[name] = segment
+    return unpack_metrics(bytes(segment.buf[:size]))
 
 
 def _worker_main(conn, fn, args, kwargs) -> None:
@@ -254,6 +285,7 @@ def _pool_worker_main(conn, transport: str) -> None:
     """Persistent-pool worker: loop over (fn, args, kwargs) jobs until EOF."""
     from ..runstate import reset_run_ids
 
+    segment = None  # reusable result segment (shm transport only)
     while True:
         try:
             job = conn.recv()
@@ -281,8 +313,9 @@ def _pool_worker_main(conn, transport: str) -> None:
             packed = pack_metrics(value)
             if packed is not None:
                 try:
-                    name, size = _ship_via_shm(packed)
-                    payload = ("shm", (name, size), wall)
+                    segment = _ensure_worker_segment(segment, len(packed))
+                    segment.buf[: len(packed)] = packed
+                    payload = ("shm", (segment.name, len(packed)), wall)
                 except Exception:
                     payload = None  # no /dev/shm etc.: fall back to the pipe
         if payload is None:
@@ -426,6 +459,7 @@ class ParallelRunner:
         results: List[Optional[RunResult]] = [None] * len(specs)
         pending = list(enumerate(specs))
         workers: Dict[Any, Tuple[Any, Optional[int]]] = {}  # conn -> (proc, index)
+        shm_cache: Dict[str, Any] = {}  # segment name -> open mapping
         done = 0
 
         for _ in range(min(self.jobs, max(1, len(specs)))):
@@ -472,7 +506,7 @@ class ParallelRunner:
                         elif status == "shm":
                             name, size = payload
                             try:
-                                value = _receive_from_shm(name, size)
+                                value = _receive_from_shm(name, size, shm_cache)
                                 result = RunResult(spec.key, value=value, wall_s=wall)
                             except Exception as exc:  # noqa: BLE001
                                 result = RunResult(
@@ -502,6 +536,12 @@ class ParallelRunner:
                 if proc.is_alive():
                     proc.terminate()
                     proc.join()
+            for segment in shm_cache.values():
+                segment.close()
+                try:
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass  # worker already unlinked it when growing
         return results  # type: ignore[return-value]
 
 

@@ -15,6 +15,7 @@ Public surface:
 
 from .engine import MICROS, MILLIS, NANOS, Simulator
 from .events import AllOf, AnyOf, Event, Interrupt, SimulationError, Timeout
+from .fluid import FidelityController, FluidFlow, FluidRoute
 from .partition import DEFAULT_RING_LATENCY, PartitionPlan, PlanUnit, plan_partition
 from .process import Process
 from .resources import Container, Resource, Store
@@ -22,6 +23,9 @@ from .sharded import ShardChannel, ShardedSimulation, shard_for_host
 
 __all__ = [
     "Simulator",
+    "FidelityController",
+    "FluidFlow",
+    "FluidRoute",
     "ShardedSimulation",
     "ShardChannel",
     "shard_for_host",

@@ -60,6 +60,12 @@ class Simulator:
         #: Events processed since construction (perf metric; see
         #: ``benchmarks/bench_datapath.py``).
         self.events_processed = 0
+        #: Hybrid fidelity: the installed
+        #: :class:`~repro.sim.fluid.FidelityController`, or None for pure
+        #: packet fidelity (the default — and the bit-identical path: with
+        #: no controller installed every fluid hook in the TCP/NIC layers
+        #: is a single attribute test that takes the packet branch).
+        self.fidelity = None
 
     # -- clock -------------------------------------------------------------
     @property

@@ -1,0 +1,700 @@
+"""Hybrid fidelity: a fluid (flow-rate) fast path beside packet fidelity.
+
+At datacenter connection counts the per-packet machinery dominates wall
+time even though most flows sit in congestion-control steady state where
+nothing *interesting* happens per segment.  The
+:class:`FidelityController` lets one :class:`~repro.sim.Simulator` carry
+both fidelities at once:
+
+* **Packet mode** (default, always bit-identical to a build without the
+  controller installed): every segment is a simulated event — handshake,
+  CPU charges, link serialisation, ACK clocking, loss recovery.
+* **Fluid mode**: a promoted connection's send direction is an analytic
+  flow.  Application writes become byte-counter chunks serviced at the
+  flow's allocated rate; one simulator event per chunk delivery replaces
+  the dozens of per-segment events, and idle flows cost nothing.
+
+Rates come from a max-min water-fill over each route's capacity, capped
+per flow by the congestion controller's exported steady-state rate
+(:meth:`~repro.tcp.cc.base.CongestionControl.steady_state_rate`), the
+peer's receive window, and a CPU ceiling mirroring the per-segment
+processing cost of the packet path.  Rates are re-solved only on *epochs*
+— flow arrival, departure, capacity change — never per delivery.
+
+Promotion/demotion rules (the fidelity contract):
+
+* A connection is **promotable** only when established, out of recovery,
+  with an empty SACK scoreboard, on a registered loss-free route, with no
+  fabric arbiter, outside any fault-plan window — and in CC steady state
+  (``cwnd >= ssthresh``), window/buffer-limited (cwnd is not the binding
+  constraint), or idle (application-limited with nothing in flight).
+* A backlogged flow whose binding rate cap would be the **peer window**
+  is declined (and demoted if the route's population later shrinks into
+  that regime): a window-limited sender stalls and bursts on window
+  updates, dynamics ``W/RTT`` overestimates by ~20 % on figure4's
+  160 KB sockets.  The packet path simulates those stalls exactly, so
+  rwnd-limited bulk flows stay packet.
+* Promotion is drain-then-switch: the sender stops pumping new segments
+  and switches only once ``snd_una == snd_nxt``, so no bytes are ever
+  owned by both fidelities.
+* **Demotion** is forced by any fault-plan firing, migration release,
+  NIC failure, receiver-buffer pressure, or ``close()``; undelivered
+  fluid bytes simply remain unsent in the send buffer (``snd_nxt`` only
+  advances at delivery), so the packet path resumes them exactly and
+  cwnd/ssthresh carry over untouched.
+
+Byte conservation is structural: in fluid mode ``snd_una == snd_nxt``
+always, each delivery advances sender counters and the peer's
+``rcv_nxt``/receive buffer by exactly the chunk size, and a cancelled
+chunk was never counted anywhere.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..tcp.connection import TcpConnection
+    from ..tcp.stack import TcpStack
+    from .engine import Simulator
+
+__all__ = ["FluidRoute", "FluidFlow", "FidelityController"]
+
+
+def _prefix(ip: str) -> str:
+    """Route key: the /16-style prefix the testbeds allocate from."""
+    return ip.rsplit(".", 2)[0]
+
+
+class FluidRoute:
+    """One directed bottleneck: a (src prefix, dst prefix) capacity pool."""
+
+    __slots__ = (
+        "key", "capacity", "latency", "active", "solve_queued", "rwnd_blocked"
+    )
+
+    def __init__(self, key: Tuple[str, str], capacity: float, latency: float):
+        if capacity <= 0:
+            raise ValueError("route capacity must be positive (bytes/s)")
+        self.key = key
+        self.capacity = float(capacity)  # goodput bytes/second
+        self.latency = float(latency)  # one-way seconds
+        self.active: List[FluidFlow] = []  # flows with pending bytes
+        self.solve_queued = False  # a deferred (coalesced) solve is pending
+        #: Connections declined/demoted as rwnd-limited.  They count
+        #: toward the prospective max-min population in the eligibility
+        #: check — two backlogged flows must see each other or each
+        #: assumes it would get the whole capacity and neither promotes.
+        self.rwnd_blocked: set = set()
+
+
+class FluidFlow:
+    """The fluid image of one promoted connection's send direction."""
+
+    __slots__ = (
+        "conn",
+        "peer",
+        "route",
+        "rate",
+        "cap",
+        "rwnd_cap",
+        "pending",
+        "serviced",
+        "submitted",
+        "targets",
+        "gen",
+        "demoted",
+        "last_update",
+        "active",
+        "next_fire",
+    )
+
+    def __init__(self, conn: "TcpConnection", peer: "TcpConnection", route: FluidRoute):
+        self.conn = conn
+        self.peer = peer
+        self.route = route
+        self.rate = 0.0  # allocated bytes/s (max-min share)
+        self.cap = float("inf")  # per-flow ceiling (cc/rwnd/cpu)
+        self.rwnd_cap = float("inf")  # the peer-window term of cap alone
+        self.pending = 0  # bytes submitted, not yet delivered
+        self.serviced = 0.0  # bytes serviced by rate integration
+        self.submitted = 0  # total bytes ever submitted
+        #: (cumulative service target, chunk size) per app write — one
+        #: delivery event per write keeps epoll message semantics intact.
+        self.targets: Deque[Tuple[int, int]] = deque()
+        self.gen = 0  # invalidates stale service callbacks
+        self.demoted = False
+        self.last_update = 0.0
+        self.active = False
+        #: Fire time of the live (gen-current) service event; inf if none.
+        #: Lets rate epochs skip rescheduling when the existing event
+        #: already fires early enough (lazy rescheduling).
+        self.next_fire = float("inf")
+
+
+class FidelityController:
+    """Owns routes, fluid flows, rate epochs, and the promotion rules.
+
+    Installed as ``sim.fidelity``; when absent (the default) every hook in
+    the packet path is a single attribute test, keeping ``--fidelity
+    packet`` bit-identical to pre-fluid builds.
+    """
+
+    def __init__(self, sim: "Simulator", mode: str = "auto") -> None:
+        if mode not in ("fluid", "auto"):
+            raise ValueError(f"fidelity mode must be 'fluid' or 'auto': {mode!r}")
+        self.sim = sim
+        self.mode = mode
+        self.routes: Dict[Tuple[str, str], FluidRoute] = {}
+        self._stacks: Dict[str, "TcpStack"] = {}
+        self._fault_until = 0.0
+        #: Counters surfaced to benches and tests.
+        self.promotions = 0
+        self.demotions = 0
+        self.demotion_reasons: Dict[str, int] = {}
+        self.fluid_connects = 0
+        self.fluid_bytes_delivered = 0
+        self.fluid_chunks_delivered = 0
+        self.rate_epochs = 0
+        sim.fidelity = self
+
+    # -- topology registration ------------------------------------------------
+    def add_route(
+        self, src_prefix: str, dst_prefix: str, capacity_bytes_per_s: float,
+        latency_s: float,
+    ) -> FluidRoute:
+        """Register a loss-free directed path between two address prefixes.
+
+        Callers must *not* register lossy paths: loss episodes are exactly
+        the dynamics the packet path exists to model.  A connection with
+        no route simply never promotes.
+        """
+        route = FluidRoute((src_prefix, dst_prefix), capacity_bytes_per_s, latency_s)
+        self.routes[route.key] = route
+        return route
+
+    def register_stack(self, stack: "TcpStack") -> None:
+        """Track a stack by IP (TcpStack.__init__ calls this)."""
+        self._stacks[stack.ip] = stack
+
+    def route_for(self, src_ip: str, dst_ip: str) -> Optional[FluidRoute]:
+        return self.routes.get((_prefix(src_ip), _prefix(dst_ip)))
+
+    # -- fault windows ---------------------------------------------------------
+    def on_fault_fired(self, kind: str, duration: float, terminal: bool = False) -> None:
+        """A fault-plan entry fired: force every fluid flow back to packets.
+
+        Promotion stays blocked until the fault's recovery time (forever
+        for terminal kinds — crashes whose recovery is failover, which
+        reshapes the topology out from under any analytic model).
+        """
+        until = float("inf") if terminal else self.sim.now + max(duration, 0.0)
+        self._fault_until = max(self._fault_until, until)
+        for conn in self._fluid_conns():
+            self.demote(conn, f"fault:{kind}")
+
+    @property
+    def in_fault_window(self) -> bool:
+        return self.sim.now < self._fault_until
+
+    def _fluid_conns(self) -> List["TcpConnection"]:
+        return [
+            flow.conn
+            for route in self.routes.values()
+            for flow in list(route.active)
+        ] + [
+            conn
+            for stack in self._stacks.values()
+            for conn in list(stack._connections.values())
+            if conn._fluid_flow is not None or conn._fluid_armed
+        ]
+
+    # -- capacity epochs -------------------------------------------------------
+    def on_nic_failed(self, nic) -> None:
+        """NIC capacity collapsed to zero: demote everything touching it."""
+        for conn in self._fluid_conns():
+            if conn.stack.nic is nic or conn._fluid_flow is not None and (
+                conn._fluid_flow.peer.stack.nic is nic
+            ):
+                self.demote(conn, "nic_failure")
+
+    def on_nic_repaired(self, nic) -> None:
+        """Capacity restored; affected flows re-promote on ACK progress."""
+
+    def set_route_capacity(self, route: FluidRoute, capacity_bytes_per_s: float) -> None:
+        if capacity_bytes_per_s <= 0:
+            raise ValueError("capacity must stay positive; demote instead")
+        route.capacity = float(capacity_bytes_per_s)
+        self._solve(route)
+
+    # -- eligibility and promotion ---------------------------------------------
+    def _peer_conn(self, conn: "TcpConnection") -> Optional["TcpConnection"]:
+        peer_stack = self._stacks.get(conn.remote.ip)
+        if peer_stack is None:
+            return None
+        return peer_stack._connections.get(
+            (conn.remote.port, conn.local.ip, conn.local.port)
+        )
+
+    def _eligible(self, conn: "TcpConnection") -> Optional["TcpConnection"]:
+        """Peer connection when ``conn``'s send direction may go fluid."""
+        from ..tcp.connection import TcpState
+
+        if self.in_fault_window or conn.state is not TcpState.ESTABLISHED:
+            return None
+        if conn._in_fast_recovery or conn._sacked or conn.fin_sent:
+            return None
+        if conn.send_buffer.fin_requested:
+            return None
+        if conn.stack.arbiter is not None:
+            return None
+        nic = conn.stack.nic
+        if nic.failed or nic.draining:
+            return None
+        route = self.route_for(conn.local.ip, conn.remote.ip)
+        if route is None:
+            return None
+        peer = self._peer_conn(conn)
+        if peer is None or peer.state is not TcpState.ESTABLISHED:
+            return None
+        if peer.stack.arbiter is not None:
+            return None
+        if peer.stack.nic.failed or peer.stack.nic.draining:
+            return None
+        if conn._fluid_rwnd_block or conn.send_buffer.backlog > 0:
+            # A backlogged sender whose prospective max-min share exceeds
+            # the peer-window cap would be rwnd-limited in fluid mode —
+            # a stall-and-burst regime W/RTT overestimates (see _solve).
+            # The prospective population counts active fluid flows plus
+            # the route's other rwnd-blocked candidates (pruned lazily):
+            # concurrent backlogged flows must see each other, or each
+            # assumes the whole capacity and none ever promotes.
+            rtt = conn.rtt.srtt or 2.0 * route.latency
+            others = 0
+            for other in list(route.rwnd_blocked):
+                if other is conn:
+                    continue
+                if other.state is not TcpState.ESTABLISHED or (
+                    other._fluid_flow is not None
+                ):
+                    route.rwnd_blocked.discard(other)
+                    continue
+                others += 1
+            share = route.capacity / (len(route.active) + others + 1)
+            if peer.recv_buffer.capacity / rtt < share:
+                conn._fluid_rwnd_block = True
+                route.rwnd_blocked.add(conn)
+                return None
+            conn._fluid_rwnd_block = False
+            route.rwnd_blocked.discard(conn)
+        return peer
+
+    def _steady(self, conn: "TcpConnection") -> bool:
+        """CC steady state, or a regime where cwnd is not the constraint."""
+        cc = conn.cc
+        if cc.cwnd >= cc.ssthresh:
+            return True  # past slow start
+        if conn.snd_una == conn.snd_nxt and conn.send_buffer.backlog == 0:
+            return True  # idle / application-limited
+        limit = min(max(conn.snd_wnd, cc.mss), conn.send_buffer.capacity)
+        return cc.window() >= limit  # window- or buffer-limited
+
+    def on_established(self, conn: "TcpConnection") -> None:
+        """Hook from ``TcpConnection._become_established``."""
+        if self.route_for(conn.local.ip, conn.remote.ip) is None:
+            # Never eligible (lossy / unrouted path): stop paying the
+            # per-ACK promotion check for this connection's lifetime.
+            conn._fidelity = None
+            return
+        self.on_ack_progress(conn)
+
+    def on_ack_progress(self, conn: "TcpConnection") -> None:
+        """Hook from the tail of ``TcpConnection._process_ack``."""
+        if conn._fluid_flow is not None:
+            return
+        if conn._fluid_armed:
+            if conn._in_fast_recovery or conn._sacked:
+                conn._fluid_armed = False  # loss beat the drain; stay packet
+            elif conn.snd_una == conn.snd_nxt:
+                self._promote(conn)
+            return
+        if self._steady(conn) and self._eligible(conn) is not None:
+            if conn.snd_una == conn.snd_nxt:
+                self._promote(conn)
+            else:
+                conn._fluid_armed = True  # drain-then-switch
+
+    def _flow_cap(self, conn: "TcpConnection", peer: "TcpConnection",
+                  route: FluidRoute) -> Tuple[float, float]:
+        """Per-flow rate ceiling (CC model, peer window, CPU throughput),
+        plus the peer-window term alone so :meth:`_solve` can tell when
+        rwnd is the binding constraint."""
+        rtt = conn.rtt.srtt or 2.0 * route.latency
+        rwnd_cap = peer.recv_buffer.capacity / rtt
+        cap = conn.cc.steady_state_rate(rtt) or float("inf")
+        cap = min(cap, rwnd_cap)
+        # The packet path charges per-segment CPU on both stacks; a fluid
+        # flow must not outrun the core that would have carried it.
+        for stack in (conn.stack, peer.stack):
+            if stack.cores:
+                cfg = stack.config
+                seg = conn.config.effective_mss
+                per_seg_s = (cfg.per_segment_ns + cfg.per_byte_ns * seg) * 1e-9
+                if per_seg_s > 0:
+                    cap = min(cap, seg / per_seg_s)
+        return cap, rwnd_cap
+
+    def _promote(self, conn: "TcpConnection") -> None:
+        peer = self._eligible(conn)
+        if peer is None:
+            conn._fluid_armed = False
+            return
+        assert conn.snd_una == conn.snd_nxt, "promotion requires a drained pipe"
+        route = self.route_for(conn.local.ip, conn.remote.ip)
+        flow = FluidFlow(conn, peer, route)
+        conn._fluid_flow = flow
+        conn._fluid_armed = False
+        self.promotions += 1
+        self.pump(conn)  # pick up any backlog the drain held back
+
+    def demote(self, conn: "TcpConnection", reason: str) -> None:
+        """Switch a connection back to packet fidelity (always safe).
+
+        Undelivered chunks are cancelled: their bytes were never added to
+        ``snd_nxt``, so they are still "written but unsent" and the packet
+        path's ``_pump`` transmits them with full per-segment fidelity.
+        """
+        flow = conn._fluid_flow
+        armed = conn._fluid_armed
+        conn._fluid_armed = False
+        if flow is None:
+            if armed:
+                self.demotions += 1
+                self.demotion_reasons[reason] = (
+                    self.demotion_reasons.get(reason, 0) + 1
+                )
+                conn._pump()
+            return
+        conn._fluid_flow = None
+        flow.demoted = True
+        flow.gen += 1
+        flow.next_fire = float("inf")
+        if flow.active:
+            flow.active = False
+            flow.route.active.remove(flow)
+            self._solve(flow.route)
+        self.demotions += 1
+        self.demotion_reasons[reason] = self.demotion_reasons.get(reason, 0) + 1
+        # Refresh the stale window from the peer's actual buffer state —
+        # the advertisement the peer's next ACK would carry.
+        peer = flow.peer
+        conn.snd_wnd = peer.recv_buffer.window(peer.assembly.out_of_order_bytes)
+        conn._pump()
+
+    # -- the fluid datapath ----------------------------------------------------
+    def pump(self, conn: "TcpConnection") -> None:
+        """Fluid-mode ``_pump``: hand newly written bytes to the flow."""
+        flow = conn._fluid_flow
+        if flow is None:
+            return
+        sent = conn.snd_nxt - conn.data_seq_base
+        new = conn.send_buffer.written - sent - flow.pending
+        if new <= 0:
+            return
+        flow.pending += new
+        flow.submitted += new
+        flow.targets.append((flow.submitted, new))
+        if not flow.active:
+            flow.active = True
+            flow.route.active.append(flow)
+            flow.last_update = self.sim.now
+            self._request_solve(flow.route)
+        # else: the in-progress schedule already covers the new target
+        # once the current one fires (service is work-conserving).
+
+    #: Active-set size above which arrival/departure epochs coalesce.
+    SOLVE_COALESCE_THRESHOLD = 8
+    #: Deferral window for coalesced solves (seconds of rate staleness).
+    SOLVE_COALESCE_DELAY = 5e-6
+
+    def _request_solve(self, route: FluidRoute) -> None:
+        """Re-solve ``route`` now, or batch it under heavy flow overlap.
+
+        With a small active set a solve is exact and cheap, so arrival
+        and departure epochs run it inline.  Past the threshold, each
+        epoch costs O(active log active) and arrivals can outpace
+        service — then epochs within a short window coalesce into one
+        deferred solve, bounding solver work to one pass per window at
+        the price of rates being up to that window stale.
+        """
+        if route.solve_queued:
+            return
+        if len(route.active) <= self.SOLVE_COALESCE_THRESHOLD:
+            self._solve(route)
+            return
+        route.solve_queued = True
+        self.sim.schedule_call(
+            self.SOLVE_COALESCE_DELAY, self._deferred_solve, route
+        )
+
+    def _deferred_solve(self, route: FluidRoute) -> None:
+        route.solve_queued = False
+        self._solve(route)
+
+    def _solve(self, route: FluidRoute) -> None:
+        """Max-min water-fill of ``route.capacity`` over its active flows.
+
+        Exact for a single shared bottleneck with per-flow caps: ascending
+        by cap, each flow takes min(cap, equal share of what remains).
+        An epoch — runs only on flow arrival/departure/capacity change.
+        """
+        self.rate_epochs += 1
+        flows = route.active
+        if not flows:
+            return
+        now = self.sim.now
+        for flow in flows:
+            self._sync(flow, now)
+            flow.cap, flow.rwnd_cap = self._flow_cap(flow.conn, flow.peer, route)
+        remaining = route.capacity
+        n = len(flows)
+        for flow in sorted(flows, key=lambda f: f.cap):
+            share = remaining / n
+            if (
+                flow.cap < share
+                and flow.cap == flow.rwnd_cap
+                and flow.pending > flow.peer.recv_buffer.capacity
+            ):
+                # The peer window binds and the backlog exceeds it: the
+                # packet path would stall and burst on window updates —
+                # dynamics W/RTT overestimates (~20 % measured on
+                # figure4's 160 KB sockets).  Send it back to packets;
+                # the flag blocks re-promotion until the route's
+                # population makes the share smaller than the cap.
+                flow.conn._fluid_rwnd_block = True
+                route.rwnd_blocked.add(flow.conn)
+                self.demote(flow.conn, "rwnd-limited")
+                return  # the demotion re-solved the surviving flows
+            flow.rate = min(flow.cap, share)
+            remaining -= flow.rate
+            n -= 1
+        for flow in flows:
+            self._schedule(flow)
+
+    def _sync(self, flow: FluidFlow, now: float) -> None:
+        """Integrate the byte counter up to ``now`` at the current rate."""
+        if flow.rate > 0 and now > flow.last_update:
+            flow.serviced = min(
+                float(flow.submitted),
+                flow.serviced + (now - flow.last_update) * flow.rate,
+            )
+        flow.last_update = now
+
+    def _schedule(self, flow: FluidFlow) -> None:
+        """(Re)schedule the head chunk's service under the current rate.
+
+        Only the *service* event is generation-guarded: a rate epoch
+        reschedules it for the remaining bytes (work is conserved by
+        :meth:`_sync`).  Propagation events are scheduled separately at
+        service completion and never cancelled by epochs — a chunk on the
+        wire is not affected by a rate change behind it (re-paying the
+        propagation delay per epoch would starve deliveries whenever flow
+        arrivals outpace the path latency).
+
+        Rescheduling is *lazy*: a new event is pushed only when the
+        completion estimate moves earlier than the live event's fire
+        time.  When the rate drops instead, the live event fires early,
+        :meth:`_service_done` syncs the partial progress and reschedules
+        the remainder.  Without this, every arrival epoch invalidates one
+        event per concurrently active flow and the heap fills with stale
+        pops — O(arrivals x active) events under overlap.
+        """
+        if not flow.targets or flow.rate <= 0:
+            flow.gen += 1  # nothing to service: kill any live event
+            flow.next_fire = float("inf")
+            return
+        target, _size = flow.targets[0]
+        remaining = max(0.0, target - flow.serviced)
+        when = self.sim.now + remaining / flow.rate
+        if when >= flow.next_fire:
+            return  # live event fires no later than needed: keep it
+        flow.gen += 1
+        flow.next_fire = when
+        self.sim.schedule_call(
+            when - self.sim.now, self._service_done, flow, flow.gen
+        )
+
+    def _service_done(self, flow: FluidFlow, gen: int) -> None:
+        """Head chunk fully serviced: put it in propagation, line up next."""
+        if gen != flow.gen or flow.demoted or not flow.targets:
+            return
+        flow.next_fire = float("inf")
+        self._sync(flow, self.sim.now)
+        target, size = flow.targets[0]
+        if target - flow.serviced > 0.5:
+            # The rate dropped after this event was scheduled (lazy
+            # rescheduling): only partial progress — line up the rest.
+            self._schedule(flow)
+            return
+        flow.targets.popleft()
+        flow.serviced = max(flow.serviced, float(target))
+        flow.last_update = self.sim.now
+        self.sim.schedule_call(flow.route.latency, self._deliver, flow, size)
+        if flow.targets:
+            self._schedule(flow)
+        elif flow.active:
+            flow.active = False
+            flow.route.active.remove(flow)
+            self._request_solve(flow.route)
+
+    def _deliver(self, flow: FluidFlow, size: int) -> None:
+        """One chunk arrived after propagation: commit its bytes.
+
+        A demotion between service and delivery cancels the chunk — its
+        bytes never advanced ``snd_nxt``, so the packet path resends them.
+        """
+        if flow.demoted:
+            return
+        conn, peer = flow.conn, flow.peer
+        from ..tcp.connection import TcpState
+
+        if peer.state in (TcpState.CLOSED, TcpState.TIME_WAIT):
+            # The receiver went away (abort/RST) under the flow; back to
+            # packets, where the resent bytes will elicit the peer's RST.
+            self.demote(conn, "peer_closed")
+            return
+        flow.pending -= size
+
+        # Sender books: in fluid mode snd_una tracks snd_nxt exactly.
+        conn.snd_nxt += size
+        conn.snd_una += size
+        conn.stats.bytes_sent += size
+        conn.stats.bytes_acked += size
+        conn.delivered += size
+        conn.delivered_time = self.sim.now
+        conn.send_buffer.on_ack(size)  # admits blocked writers (-> pump)
+
+        # Receiver books: exactly what the reassembled segments would do.
+        peer.stats.bytes_received += size
+        peer.assembly.rcv_nxt += size
+        overfull = peer.recv_buffer.available + size > peer.recv_buffer.capacity
+        peer.recv_buffer.deliver(size)
+        if peer.on_data_available is not None:
+            peer.on_data_available(peer, size)
+
+        self.fluid_bytes_delivered += size
+        self.fluid_chunks_delivered += 1
+
+        if overfull:
+            # Receiver-limited is app interaction the packet path should
+            # arbitrate (zero-window probes, window updates): demote.
+            self.demote(conn, "receiver_limited")
+
+    # -- fluid connection establishment ----------------------------------------
+    def try_fluid_connect(self, stack: "TcpStack", conn: "TcpConnection") -> bool:
+        """Analytic handshake: skip the SYN exchange on eligible paths.
+
+        Called by ``TcpStack.connect`` after the connection is registered
+        but before ``open_active``.  Returns False (caller sends a real
+        SYN) unless both directions have loss-free routes, the peer stack
+        is known with an admitting listener, and no fault window is open.
+        The client establishes after one round trip, the server after the
+        one-way latency — the same times the packet handshake would give
+        on a clean path, minus its per-segment events.
+        """
+        from ..tcp.connection import TcpState
+
+        if self.in_fault_window or stack.arbiter is not None:
+            return False
+        route = self.route_for(conn.local.ip, conn.remote.ip)
+        back = self.route_for(conn.remote.ip, conn.local.ip)
+        if route is None or back is None:
+            return False
+        nic = stack.nic
+        if nic.failed or nic.draining:
+            return False
+        peer_stack = self._stacks.get(conn.remote.ip)
+        if peer_stack is None or peer_stack.arbiter is not None:
+            return False
+        if peer_stack.nic.failed or peer_stack.nic.draining:
+            return False
+        listener = peer_stack._listeners.get(conn.remote.port)
+        if listener is None or not listener.can_admit():
+            return False
+        conn.state = TcpState.SYN_SENT
+        conn.snd_nxt = conn.iss + 1
+        self.fluid_connects += 1
+        self.sim.schedule_call(
+            route.latency, self._fluid_accept, conn, peer_stack, listener
+        )
+        return True
+
+    def _fluid_accept(self, conn, peer_stack, listener) -> None:
+        """Server side of the analytic handshake (at +one-way latency)."""
+        from ..net import Endpoint
+        from ..tcp.buffers import ReassemblyQueue
+        from ..tcp.connection import TcpConnection, TcpState
+
+        if conn.state is not TcpState.SYN_SENT:
+            return  # client gave up while the "SYN" was in flight
+        if not listener.can_admit() or listener.closed:
+            conn._send_syn()  # fall back to the packet handshake
+            return
+        local = Endpoint(peer_stack.ip, listener.port)
+        remote = Endpoint(conn.local.ip, conn.local.port)
+        cfg = peer_stack._tcp_config(**getattr(listener, "_tcp_overrides", {}))
+        cc = peer_stack._make_cc(getattr(listener, "_cc_name", None), cfg.mss)
+        sconn = TcpConnection(peer_stack.sim, peer_stack, local, remote, cc, cfg)
+        peer_stack._connections[(listener.port, remote.ip, remote.port)] = sconn
+        peer_stack.stats.connections_accepted += 1
+        peer_stack._assign_core(sconn)
+        sconn.on_established_cb = lambda c: listener.enqueue_established(c)
+        sconn.state = TcpState.SYN_RCVD
+        sconn.irs = conn.iss
+        sconn.assembly = ReassemblyQueue(rcv_nxt=conn.iss + 1)
+        sconn.snd_wnd = conn.recv_buffer.window(0)
+        sconn.snd_nxt = sconn.iss + 1
+        sconn.snd_una = sconn.iss + 1
+        sconn._become_established()
+        self.sim.schedule_call(
+            self.route_for(sconn.local.ip, sconn.remote.ip).latency
+            if self.route_for(sconn.local.ip, sconn.remote.ip) is not None
+            else 0.0,
+            self._fluid_established,
+            conn,
+            sconn,
+        )
+
+    def _fluid_established(self, conn, sconn) -> None:
+        """Client side completes (at +RTT), mirroring the SYN/ACK arrival."""
+        from ..tcp.buffers import ReassemblyQueue
+        from ..tcp.connection import TcpState
+
+        if conn.state is not TcpState.SYN_SENT:
+            return
+        conn.irs = sconn.iss
+        conn.assembly = ReassemblyQueue(rcv_nxt=sconn.iss + 1)
+        conn.snd_wnd = sconn.recv_buffer.window(0)
+        conn.snd_una = conn.iss + 1
+        conn._become_established()
+
+    # -- introspection ---------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "demotion_reasons": dict(self.demotion_reasons),
+            "fluid_connects": self.fluid_connects,
+            "fluid_bytes_delivered": self.fluid_bytes_delivered,
+            "fluid_chunks_delivered": self.fluid_chunks_delivered,
+            "rate_epochs": self.rate_epochs,
+            "routes": len(self.routes),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<FidelityController mode={self.mode} routes={len(self.routes)} "
+            f"promotions={self.promotions} demotions={self.demotions}>"
+        )

@@ -2,6 +2,7 @@
 
 from .metrics import LatencyRecorder, ThroughputMeter, percentile
 from .series import PeriodicSampler, TimeSeries
+from .table import ColumnarTable
 
 __all__ = [
     "ThroughputMeter",
@@ -9,4 +10,5 @@ __all__ = [
     "percentile",
     "TimeSeries",
     "PeriodicSampler",
+    "ColumnarTable",
 ]

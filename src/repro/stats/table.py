@@ -1,0 +1,230 @@
+"""Fixed-schema columnar result tables, shipped via ``mmap``.
+
+Large-N sweep/bench outputs are long lists of numerically-typed rows.
+Pickling them between workers copies every Python object twice; a
+columnar table instead lays the data out arrow-style — one contiguous
+typed buffer per column — in a single file that any process can map
+read-only and read zero-copy.
+
+File layout (all little-endian, 8-byte aligned):
+
+==========  =============================================================
+header      magic ``RPTB``, version u32, ncols u32, nrows u64
+schema      per column: name_len u16, utf8 name, dtype code u8 (padded
+            to the next 8-byte boundary)
+columns     per column, 8-byte aligned:
+            ``i64``/``f64``  nrows * 8 bytes
+            ``str``          (nrows + 1) i64 offsets, then the utf8 heap
+==========  =============================================================
+
+The string layout (offsets + heap) matches Arrow's variable-length
+binary encoding; numeric columns are plain primitive arrays.  There is
+no compression and no nullability — results tables are dense by
+construction.
+
+Writers build in memory (:class:`ColumnarTable` + :meth:`append`) and
+:meth:`write` through an ``mmap``; readers :meth:`open` the file and get
+``memoryview``-backed columns without copying the buffers.  A table
+written to ``/dev/shm`` is a worker-to-worker result channel with no
+pickling on either side.
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+from array import array
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+__all__ = ["ColumnarTable"]
+
+_MAGIC = b"RPTB"
+_VERSION = 1
+
+#: dtype name -> (code byte, array typecode)
+_DTYPES = {"i64": (1, "q"), "f64": (2, "d"), "str": (3, None)}
+_CODES = {code: name for name, (code, _tc) in _DTYPES.items()}
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+_HEADER_FMT = "<4sIIQ"
+_HEADER_SIZE = _align8(struct.calcsize(_HEADER_FMT))
+
+
+class ColumnarTable:
+    """An append-only, fixed-schema, column-major result table."""
+
+    def __init__(self, schema: Sequence[Tuple[str, str]]) -> None:
+        if not schema:
+            raise ValueError("schema must name at least one column")
+        for name, dtype in schema:
+            if dtype not in _DTYPES:
+                raise ValueError(
+                    f"column {name!r}: unknown dtype {dtype!r} "
+                    f"(have {sorted(_DTYPES)})"
+                )
+        self.schema: List[Tuple[str, str]] = [(n, d) for n, d in schema]
+        self._names = [n for n, _d in schema]
+        self._columns: Dict[str, Any] = {}
+        for name, dtype in schema:
+            if dtype == "str":
+                self._columns[name] = []
+            else:
+                self._columns[name] = array(_DTYPES[dtype][1])
+        self.nrows = 0
+        #: Set by :meth:`open`: the backing map kept alive for zero-copy
+        #: column views (None for in-memory tables).
+        self._mmap = None
+
+    # -- building --------------------------------------------------------------
+    def append(self, **row: Any) -> None:
+        """Append one row; every schema column must be present."""
+        if self._mmap is not None:
+            raise TypeError("mapped tables are read-only")
+        for name, dtype in self.schema:
+            value = row.pop(name)
+            if dtype == "str":
+                self._columns[name].append(str(value))
+            elif dtype == "i64":
+                self._columns[name].append(int(value))
+            else:
+                self._columns[name].append(float(value))
+        if row:
+            raise ValueError(f"row has extra keys: {sorted(row)}")
+        self.nrows += 1
+
+    # -- access ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.nrows
+
+    def column(self, name: str):
+        """The full column: a typed sequence (zero-copy when mapped)."""
+        return self._columns[name]
+
+    def row(self, index: int) -> Dict[str, Any]:
+        return {name: self._columns[name][index] for name in self._names}
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        for index in range(self.nrows):
+            yield self.row(index)
+
+    # -- mmap I/O --------------------------------------------------------------
+    def _layout(self) -> Tuple[int, List[Tuple[str, str, int, bytes]]]:
+        """Total size plus (name, dtype, offset, payload) per column."""
+        offset = _HEADER_SIZE
+        for name, _dtype in self.schema:
+            offset += _align8(2 + len(name.encode()) + 1)
+        plan = []
+        for name, dtype in self.schema:
+            offset = _align8(offset)
+            if dtype == "str":
+                values = self._columns[name]
+                heap = b"".join(v.encode() for v in values)
+                offsets = array("q", [0])
+                total = 0
+                for v in values:
+                    total += len(v.encode())
+                    offsets.append(total)
+                payload = offsets.tobytes() + heap
+            else:
+                payload = self._columns[name].tobytes()
+            plan.append((name, dtype, offset, payload))
+            offset += len(payload)
+        return _align8(offset), plan
+
+    def write(self, path: str) -> int:
+        """Write the table through an ``mmap``; returns the file size."""
+        size, plan = self._layout()
+        with open(path, "w+b") as fh:  # mmap needs a read+write fd
+            fh.truncate(size)
+            with mmap.mmap(fh.fileno(), size) as mapped:
+                struct.pack_into(
+                    _HEADER_FMT, mapped, 0, _MAGIC, _VERSION,
+                    len(self.schema), self.nrows,
+                )
+                cursor = _HEADER_SIZE
+                for name, dtype in self.schema:
+                    encoded = name.encode()
+                    struct.pack_into(
+                        f"<H{len(encoded)}sB", mapped, cursor,
+                        len(encoded), encoded, _DTYPES[dtype][0],
+                    )
+                    cursor += _align8(2 + len(encoded) + 1)
+                for _name, _dtype, offset, payload in plan:
+                    mapped[offset : offset + len(payload)] = payload
+                mapped.flush()
+        return size
+
+    @classmethod
+    def open(cls, path: str) -> "ColumnarTable":
+        """Map ``path`` read-only; numeric columns are zero-copy views."""
+        with open(path, "rb") as fh:
+            mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        magic, version, ncols, nrows = struct.unpack_from(_HEADER_FMT, mapped, 0)
+        if magic != _MAGIC:
+            raise ValueError(f"{path}: not a columnar table (magic {magic!r})")
+        if version != _VERSION:
+            raise ValueError(f"{path}: unsupported table version {version}")
+        cursor = _HEADER_SIZE
+        schema: List[Tuple[str, str]] = []
+        for _ in range(ncols):
+            (name_len,) = struct.unpack_from("<H", mapped, cursor)
+            name = bytes(mapped[cursor + 2 : cursor + 2 + name_len]).decode()
+            code = mapped[cursor + 2 + name_len]
+            schema.append((name, _CODES[code]))
+            cursor += _align8(2 + name_len + 1)
+        table = cls(schema)
+        table.nrows = nrows
+        table._mmap = mapped
+        view = memoryview(mapped)
+        offset = cursor
+        for name, dtype in schema:
+            offset = _align8(offset)
+            if dtype == "str":
+                offsets = view[offset : offset + (nrows + 1) * 8].cast("q")
+                heap_start = offset + (nrows + 1) * 8
+                heap_end = heap_start + (offsets[nrows] if nrows else 0)
+                heap = view[heap_start:heap_end]
+                table._columns[name] = _StrColumn(offsets, heap)
+                offset = heap_end
+            else:
+                width = nrows * 8
+                table._columns[name] = view[offset : offset + width].cast(
+                    _DTYPES[dtype][1]
+                )
+                offset += width
+        return table
+
+    def close(self) -> None:
+        """Release the backing map (no-op for in-memory tables)."""
+        if self._mmap is not None:
+            # Views into the map must go first or mmap.close() raises.
+            self._columns = {}
+            self._mmap.close()
+            self._mmap = None
+
+
+class _StrColumn:
+    """Zero-copy arrow-style string column: i64 offsets + utf8 heap."""
+
+    __slots__ = ("_offsets", "_heap")
+
+    def __init__(self, offsets, heap) -> None:
+        self._offsets = offsets
+        self._heap = heap
+
+    def __len__(self) -> int:
+        return len(self._offsets) - 1
+
+    def __getitem__(self, index: int) -> str:
+        if index < 0:
+            index += len(self)
+        start, end = self._offsets[index], self._offsets[index + 1]
+        return bytes(self._heap[start:end]).decode()
+
+    def __iter__(self) -> Iterator[str]:
+        for index in range(len(self)):
+            yield self[index]

@@ -83,6 +83,19 @@ class CongestionControl:
         """Current congestion window in bytes (integral, >= 1 MSS)."""
         return max(self.mss, int(self.cwnd))
 
+    def steady_state_rate(self, srtt: float) -> Optional[float]:
+        """Steady-state throughput (bytes/s) this algorithm sustains.
+
+        The fluid fidelity model (repro.sim.fluid) uses this as a
+        per-flow rate cap.  The window-based default is cwnd/RTT; model
+        algorithms (BBR) override with their explicit bandwidth estimate.
+        Returns None when no estimate is available (flow is uncapped and
+        takes its max-min share of the bottleneck).
+        """
+        if srtt <= 0:
+            return None
+        return self.window() / srtt
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} cwnd={self.cwnd:.0f}B>"
 

@@ -194,3 +194,10 @@ class Bbr(CongestionControl):
         if self.btl_bw <= 0:
             return None  # no model yet: window-limited slow start
         return self.pacing_gain * self.btl_bw
+
+    def steady_state_rate(self, srtt: float) -> Optional[float]:
+        # The model's long-run rate IS the bottleneck-bandwidth estimate
+        # (gain cycling averages out to 1.0 over a PROBE_BW cycle).
+        if self.btl_bw > 0:
+            return self.btl_bw
+        return super().steady_state_rate(srtt)

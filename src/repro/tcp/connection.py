@@ -148,6 +148,8 @@ class TcpConnection:
         self._rto_armed = False
         self._rto_scheduled = False
         self._rto_deadline = 0.0
+        self._rto_check_at = 0.0  # fire time of the pending (gen-current) check
+        self._rto_gen = 0
         self._persist_gen = 0
         self._syn_retries_left = self.config.syn_retries
 
@@ -191,6 +193,22 @@ class TcpConnection:
         self.on_established_cb = None
 
         self.stats = ConnStats()
+
+        # --- hybrid fidelity (repro.sim.fluid) ---
+        #: The installed FidelityController, or None (pure packet mode).
+        #: The controller nulls this per-connection when the path can
+        #: never promote, so the per-ACK hook below stays one attribute
+        #: test for ineligible connections.
+        self._fidelity = getattr(sim, "fidelity", None)
+        #: Live FluidFlow while this connection's send side is fluid.
+        self._fluid_flow = None
+        #: Drain-then-switch: promotion decided, waiting for the pipe to
+        #: empty.  While armed, _pump sends nothing new.
+        self._fluid_armed = False
+        #: Demoted as rwnd-limited: stays packet until the route's flow
+        #: population makes the max-min share smaller than the peer-
+        #: window cap (the regime the fluid model can price).
+        self._fluid_rwnd_block = False
 
     # ------------------------------------------------------------------ API --
     @property
@@ -239,6 +257,8 @@ class TcpConnection:
 
     def close(self) -> Event:
         """Half-close: FIN after all queued data; event fires fully closed."""
+        if self._fluid_flow is not None or self._fluid_armed:
+            self._fidelity.demote(self, "close")
         self.send_buffer.close()
         if self.state is TcpState.ESTABLISHED:
             self.state = TcpState.FIN_WAIT_1
@@ -253,6 +273,8 @@ class TcpConnection:
 
     def abort(self) -> None:
         """Send RST and tear down immediately."""
+        if self._fluid_flow is not None or self._fluid_armed:
+            self._fidelity.demote(self, "abort")
         if self.state not in (TcpState.CLOSED, TcpState.TIME_WAIT):
             self._transmit(self._make_segment(self.snd_nxt, rst=True, ack=True))
         self.state = TcpState.CLOSED
@@ -390,6 +412,8 @@ class TcpConnection:
             self._recovery_send()
         else:
             self._pump()
+        if self._fidelity is not None and self._fluid_flow is None:
+            self._fidelity.on_ack_progress(self)
 
     def _make_rate_sample(self, seg: TcpSegment, delivered_inc: int) -> RateSample:
         record: Optional[_TxRecord] = None
@@ -668,6 +692,8 @@ class TcpConnection:
             self._finish_closed()
 
     def _finish_closed(self) -> None:
+        if self._fluid_flow is not None or self._fluid_armed:
+            self._fidelity.demote(self, "closed")
         self._cancel_rto()
         if not self.closed.triggered:
             self.closed.succeed()
@@ -695,6 +721,14 @@ class TcpConnection:
             TcpState.LAST_ACK,
         ):
             return
+        if self._fluid_flow is not None:
+            self._fidelity.pump(self)
+            return
+        if self._fluid_armed:
+            if self._in_fast_recovery or self._sacked:
+                self._fluid_armed = False  # loss beat the drain; stay packet
+            else:
+                return  # drain-then-switch: hold new data until promoted
         while True:
             sent_bytes = self.snd_nxt - self.data_seq_base - (
                 1 if self.fin_sent else 0
@@ -852,34 +886,49 @@ class TcpConnection:
                 self.established.succeed(self)
             if self.on_established_cb is not None:
                 self.on_established_cb(self)
+            if self._fidelity is not None:
+                self._fidelity.on_established(self)
 
     # timers ----------------------------------------------------------------
     # The RTO is re-armed on every ACK and every transmission.  Scheduling a
     # fresh timeout each time would flood the event heap with stale no-ops
     # (tens of thousands per simulated second on a busy flow), so the timer
-    # is lazy: arming just moves ``_rto_deadline``, and at most one check
-    # event is pending, which re-schedules itself for the remaining time
-    # when it finds the deadline has moved.  Expiry times are identical.
+    # is lazy: arming just moves ``_rto_deadline``, and the pending check
+    # event re-schedules itself for the remaining time when it finds the
+    # deadline has moved *later*.  When the deadline moves *earlier* than
+    # the pending check (the SYN-time check sits at the 1 s initial RTO;
+    # post-measurement data RTOs are min_rto = 200 ms), a fresh check is
+    # scheduled at the new deadline and the old event is retired by the
+    # generation token — otherwise a data timeout fires up to
+    # initial_rto - rto late, stalling loss recovery for most of a second.
     def _arm_rto(self, restart: bool = False) -> None:
         if self._rto_armed and not restart:
             return
         self._rto_armed = True
         self._rto_deadline = self.sim.now + self.rtt.rto
-        if not self._rto_scheduled:
+        if not self._rto_scheduled or (
+            self._rto_deadline < self._rto_check_at - 1e-12
+        ):
             self._rto_scheduled = True
-            self.sim.schedule_call(self.rtt.rto, self._rto_check)
+            self._rto_gen += 1
+            self._rto_check_at = self._rto_deadline
+            self.sim.schedule_call(self.rtt.rto, self._rto_check, self._rto_gen)
 
     def _cancel_rto(self) -> None:
         self._rto_armed = False
 
-    def _rto_check(self) -> None:
+    def _rto_check(self, gen: int) -> None:
+        if gen != self._rto_gen:
+            return  # superseded by an earlier-scheduled check
         self._rto_scheduled = False
         if not self._rto_armed:
             return
         remaining = self._rto_deadline - self.sim.now
         if remaining > 1e-12:
             self._rto_scheduled = True
-            self.sim.schedule_call(remaining, self._rto_check)
+            self._rto_gen += 1
+            self._rto_check_at = self._rto_deadline
+            self.sim.schedule_call(remaining, self._rto_check, self._rto_gen)
             return
         self._rto_armed = False
         if self.state is TcpState.SYN_SENT:

@@ -101,6 +101,8 @@ class TcpStack:
         self.stats = StackStats()
         self.tracer = obs_runtime.get_tracer()
         self._traced = self.tracer.enabled
+        if sim.fidelity is not None:
+            sim.fidelity.register_stack(self)
 
     # ----------------------------------------------------------- provisioning --
     def effective_mss(self) -> int:
@@ -171,7 +173,9 @@ class TcpStack:
         self._connections[key] = conn
         self.stats.connections_opened += 1
         self._assign_core(conn)
-        conn.open_active()
+        fid = self.sim.fidelity
+        if fid is None or not fid.try_fluid_connect(self, conn):
+            conn.open_active()
         return conn
 
     # ------------------------------------------------------------ passive open --
@@ -336,6 +340,8 @@ class TcpStack:
         key = (conn.local.port, conn.remote.ip, conn.remote.port)
         if self._connections.get(key) is not conn:
             return None
+        if conn._fluid_flow is not None or conn._fluid_armed:
+            conn._fidelity.demote(conn, "migration")
         del self._connections[key]
         self._core_of.pop(id(conn), None)
         return key

@@ -1,0 +1,221 @@
+"""Hybrid fidelity engine: promotion/demotion boundaries and tolerances.
+
+Three properties pin the engine down:
+
+* ``--fidelity packet`` is bit-identical to a build with no controller
+  installed (every hook is a single attribute test against None);
+* ``--fidelity auto`` reproduces the packet-mode figures within a small
+  stated tolerance on clean paths, and *exactly* on lossy paths (where
+  the controller declines to install);
+* any fault-plan window forces every fluid flow back to packets, and
+  the slow-start -> fluid -> demote round trip preserves congestion
+  state and conserves bytes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import BulkReceiver, BulkSender
+from repro.experiments.common import install_fluid, make_lan_testbed
+from repro.faults import Fault, FaultInjector, FaultKind, FaultPlan
+from repro.net import Endpoint
+
+
+def _bulk_world(mode="auto", total_bytes=None, duration=0.05):
+    """LAN testbed + one legacy-VM bulk flow, fluid controller installed."""
+    testbed = make_lan_testbed()
+    controller = install_fluid(testbed, mode=mode)
+    vm_a = testbed.hypervisor_a.boot_legacy_vm("client", vcpus=2)
+    vm_b = testbed.hypervisor_b.boot_legacy_vm("server", vcpus=2)
+    receiver = BulkReceiver(testbed.sim_b, vm_b.api, port=5000)
+    sender = BulkSender(
+        testbed.sim_a, vm_a.api, Endpoint(vm_b.api.ip, 5000),
+        total_bytes=total_bytes,
+    )
+    return testbed, controller, vm_a, vm_b, receiver, sender
+
+
+def _client_conn(vm):
+    conns = list(vm.api.stack._connections.values())
+    assert len(conns) == 1
+    return conns[0]
+
+
+# -- promotion -----------------------------------------------------------------
+
+
+def test_bulk_flow_promotes_after_slow_start():
+    testbed, controller, vm_a, _vm_b, _rx, _tx = _bulk_world()
+    testbed.run(until=0.05)
+    stats = controller.stats()
+    assert stats["promotions"] >= 1
+    assert stats["fluid_bytes_delivered"] > 0
+    conn = _client_conn(vm_a)
+    assert conn._fluid_flow is not None  # still fluid at steady state
+    # Fluid mode keeps the pipe drained: every sent byte is acked.
+    assert conn.snd_una == conn.snd_nxt
+
+
+def test_promotion_waits_out_slow_start():
+    """During slow start (cwnd < ssthresh, cwnd-limited) stays packet."""
+    testbed, controller, vm_a, _vm_b, _rx, _tx = _bulk_world()
+    # One RTT in: the handshake is done but cwnd is still a few segments.
+    testbed.run(until=2.5e-5)
+    conn = _client_conn(vm_a)
+    if conn._fluid_flow is None and not conn._fluid_armed:
+        assert controller.stats()["promotions"] == 0
+
+
+def test_packet_mode_installs_nothing():
+    testbed = make_lan_testbed()
+    assert install_fluid(testbed, mode="packet") is None
+    assert testbed.sim.fidelity is None
+
+
+# -- demotion ------------------------------------------------------------------
+
+
+def test_demote_preserves_cc_state_and_conserves_bytes():
+    """fluid -> packet round trip: cwnd/ssthresh untouched, no byte lost."""
+    total = 64 * 1024 * 1024
+    testbed, controller, vm_a, vm_b, receiver, sender = _bulk_world(
+        total_bytes=total
+    )
+    testbed.run(until=0.005)
+    conn = _client_conn(vm_a)
+    assert conn._fluid_flow is not None, "flow should be fluid by 5 ms"
+    cwnd, ssthresh = conn.cc.cwnd, conn.cc.ssthresh
+    delivered_fluid = controller.fluid_bytes_delivered
+    assert delivered_fluid > 0
+
+    controller.demote(conn, "test")
+    assert conn._fluid_flow is None
+    assert conn.cc.cwnd == cwnd and conn.cc.ssthresh == ssthresh
+    assert controller.stats()["demotion_reasons"] == {"test": 1}
+
+    # The packet path finishes the transfer; the receiver reads every byte
+    # exactly once (fluid bytes + packet bytes, no overlap, no gap).
+    testbed.run(until=0.2)
+    assert sender.bytes_sent == total
+    assert receiver.meter.bytes == total
+    # And the connection re-promoted once the packet pipe drained again.
+    assert controller.stats()["promotions"] >= 2
+
+
+def test_chaos_forces_demotion():
+    """A firing fault plan demotes every fluid flow for its window."""
+    testbed, controller, vm_a, _vm_b, _rx, _tx = _bulk_world()
+    plan = FaultPlan.scripted(
+        [Fault(at=0.02, kind=FaultKind.LINK_LOSS, target="wire",
+               duration=0.01, loss_p=0.3)]
+    )
+    injector = FaultInjector(testbed.sim, plan)
+    injector.register_link("wire", testbed.wire.a_to_b)
+    injector.start()
+    testbed.run(until=0.018)
+    conn = _client_conn(vm_a)
+    assert conn._fluid_flow is not None
+    testbed.run(until=0.025)
+    # Inside the fault window: demoted and not re-promotable.
+    assert conn._fluid_flow is None
+    assert controller.in_fault_window
+    assert controller.stats()["demotion_reasons"].get("fault:link-loss", 0) >= 1
+    testbed.run(until=0.1)
+    # Window over, losses repaired: the flow went fluid again.
+    assert not controller.in_fault_window
+    assert conn._fluid_flow is not None
+
+
+# -- golden tolerances ---------------------------------------------------------
+
+
+FIG4_TOLERANCE = 0.01  # 1 % goodput; measured deltas are ~0.1 %
+
+
+@pytest.mark.parametrize("mode", ["native", "netkernel"])
+def test_figure4_auto_within_tolerance(mode):
+    from repro.experiments.figure4 import measure_lan_throughput
+
+    gbps = {}
+    events = {}
+    for fidelity in ("packet", "auto"):
+        stats = {}
+        gbps[fidelity] = measure_lan_throughput(
+            mode, flows=2, duration=0.1, warmup=0.025,
+            stats_out=stats, fidelity=fidelity,
+        )
+        events[fidelity] = stats["events_processed"]
+    assert gbps["auto"] == pytest.approx(gbps["packet"], rel=FIG4_TOLERANCE)
+    assert events["auto"] < events["packet"]  # the model elides segments
+
+
+def test_figure4_packet_fidelity_bit_identical():
+    """--fidelity packet must not perturb the simulation at all."""
+    from repro.experiments.figure4 import measure_lan_throughput
+
+    results = []
+    for fidelity in (None, "packet"):
+        stats = {}
+        kwargs = {} if fidelity is None else {"fidelity": fidelity}
+        gbps = measure_lan_throughput(
+            "native", flows=1, duration=0.05, warmup=0.01,
+            stats_out=stats, **kwargs,
+        )
+        results.append((gbps, stats["events_processed"]))
+    assert results[0] == results[1]
+
+
+@pytest.mark.parametrize("mode", ["native", "netkernel"])
+def test_figure4_single_flow_rwnd_limited_is_packet_exact(mode):
+    """One flow on 160 KB sockets is rwnd-limited: W/RTT misses the
+    stall-and-burst dynamics (~20 % high), so the controller declines the
+    flow entirely and auto must equal packet bit-for-bit."""
+    from repro.experiments.figure4 import measure_lan_throughput
+
+    results = []
+    for fidelity in ("packet", "auto"):
+        stats = {}
+        gbps = measure_lan_throughput(
+            mode, flows=1, duration=0.05, warmup=0.01,
+            stats_out=stats, fidelity=fidelity,
+        )
+        results.append((gbps, stats["events_processed"]))
+    assert results[0] == results[1]
+
+
+def test_figure5_auto_is_packet_exact():
+    """The WAN path is lossy: install_fluid declines, auto == packet."""
+    from repro.experiments.figure5 import measure_wan_throughput
+    from repro.host.vm import GuestOS
+
+    results = []
+    for fidelity in ("packet", "auto"):
+        stats = {}
+        mbps = measure_wan_throughput(
+            "native", GuestOS.LINUX, "bbr", duration=3.0, warmup=0.5,
+            stats_out=stats, fidelity=fidelity,
+        )
+        results.append((mbps, stats["events_processed"]))
+    assert results[0] == results[1]
+
+
+# -- netkernel byte credits ----------------------------------------------------
+
+
+def test_netkernel_fluid_credits_are_conserved():
+    """Aggregated DATA credits keep the invariants ledger balanced."""
+    from repro.experiments.figure4 import _build_lan_world
+
+    world = _build_lan_world(
+        "netkernel", flows=1, duration=0.05, warmup=0.01, fidelity="auto"
+    )
+    testbed = world.testbed
+    testbed.run(until=0.05)
+    assert testbed.sim.fidelity.stats()["promotions"] >= 1
+    for hypervisor in (testbed.hypervisor_a, testbed.hypervisor_b):
+        coreengine = hypervisor.coreengine
+        emitted = sum(
+            nsm.servicelib.fluid_credit_bytes for nsm in hypervisor.nsms
+        )
+        assert coreengine.fluid_credit_bytes == emitted
